@@ -1,0 +1,74 @@
+//! Criterion benchmarks of link and relaxation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use propeller_codegen::{codegen_module, CodegenOptions};
+use propeller_linker::{link, LinkInput, LinkOptions};
+use propeller_synth::{generate, spec_by_name, GenParams};
+
+fn inputs(scale: f64, opts: &CodegenOptions) -> Vec<LinkInput> {
+    let spec = spec_by_name("541.leela").unwrap();
+    let g = generate(
+        &spec,
+        &GenParams {
+            scale,
+            seed: 3,
+            funcs_per_module: 12,
+            entry_points: 2,
+        },
+    );
+    g.program
+        .modules()
+        .iter()
+        .map(|m| {
+            let r = codegen_module(m, &g.program, opts).unwrap();
+            LinkInput::new(r.object, r.debug_layout)
+        })
+        .collect()
+}
+
+fn bench_link(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linker");
+    group.sample_size(10);
+    let base_inputs = inputs(0.4, &CodegenOptions::baseline());
+    group.bench_function("baseline_link", |b| {
+        b.iter(|| link(&base_inputs, &LinkOptions::default()).unwrap());
+    });
+    let labels_inputs = inputs(0.4, &CodegenOptions::with_labels());
+    group.bench_function("metadata_link", |b| {
+        b.iter(|| link(&labels_inputs, &LinkOptions::default()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let spec = spec_by_name("541.leela").unwrap();
+    let g = generate(
+        &spec,
+        &GenParams {
+            scale: 0.4,
+            seed: 3,
+            funcs_per_module: 12,
+            entry_points: 2,
+        },
+    );
+    let mut group = c.benchmark_group("codegen");
+    group.sample_size(10);
+    group.bench_function("module_baseline", |b| {
+        b.iter(|| {
+            for m in g.program.modules() {
+                codegen_module(m, &g.program, &CodegenOptions::baseline()).unwrap();
+            }
+        });
+    });
+    group.bench_function("module_labels", |b| {
+        b.iter(|| {
+            for m in g.program.modules() {
+                codegen_module(m, &g.program, &CodegenOptions::with_labels()).unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_link, bench_codegen);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmark of the end-to-end four-phase pipeline (host
+//! runtime of the reproduction itself, complementing the modeled
+//! build-time figures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use propeller::{Propeller, PropellerOptions};
+use propeller_synth::{generate, spec_by_name, GenParams};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let spec = spec_by_name("531.deepsjeng").unwrap();
+    let g = generate(
+        &spec,
+        &GenParams {
+            scale: 1.0,
+            seed: 11,
+            funcs_per_module: 12,
+            entry_points: 3,
+        },
+    );
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("run_all_deepsjeng", |b| {
+        b.iter(|| {
+            let mut opts = PropellerOptions::default();
+            opts.profile_budget = 40_000;
+            let mut p = Propeller::new(g.program.clone(), g.entries.clone(), opts);
+            p.run_all().unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

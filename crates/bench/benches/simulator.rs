@@ -1,0 +1,44 @@
+//! Criterion benchmark of simulator throughput (blocks per second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use propeller_codegen::{codegen_module, CodegenOptions};
+use propeller_linker::{link, LinkInput, LinkOptions};
+use propeller_sim::{simulate, ProgramImage, SimOptions, UarchConfig, Workload};
+use propeller_synth::{generate, spec_by_name, GenParams};
+
+fn bench_simulate(c: &mut Criterion) {
+    let spec = spec_by_name("541.leela").unwrap();
+    let g = generate(
+        &spec,
+        &GenParams {
+            scale: 0.5,
+            seed: 5,
+            funcs_per_module: 12,
+            entry_points: 3,
+        },
+    );
+    let inputs: Vec<LinkInput> = g
+        .program
+        .modules()
+        .iter()
+        .map(|m| {
+            let r = codegen_module(m, &g.program, &CodegenOptions::baseline()).unwrap();
+            LinkInput::new(r.object, r.debug_layout)
+        })
+        .collect();
+    let bin = link(&inputs, &LinkOptions::default()).unwrap();
+    let image = ProgramImage::build(&g.program, &bin.layout).unwrap();
+    let budget = 100_000u64;
+    let workload = Workload::new(g.entries.clone(), budget);
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(budget));
+    group.bench_function("blocks", |b| {
+        b.iter(|| simulate(&image, &workload, &UarchConfig::default(), &SimOptions::default()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! §4.6 ablation — Low-overhead function splitting.
+//!
+//! Compares three configurations against the baseline:
+//!  * Ext-TSP reordering *without* hot/cold splitting,
+//!  * splitting driven by the compile-time (PGO) profile only
+//!    (the Machine Function Splitter equivalent: cold = zero PGO
+//!    frequency, original block order retained),
+//!  * the full Propeller configuration (hardware profile + Ext-TSP +
+//!    splitting).
+//!
+//! Paper: splitting with hardware sample profiles is ~2x more
+//! effective than the compile-time heuristic; up to 40% iTLB and 5%
+//! icache miss reduction over the PGO+ThinLTO baseline on clang.
+
+use propeller_bench::{runner::run_layout_variants, RunConfig, Table};
+use propeller_wpa::{ColdSource, IntraOrder, WpaOptions};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let variants = [
+        (
+            "reorder-only (no split)",
+            WpaOptions {
+                split: false,
+                ..WpaOptions::default()
+            },
+        ),
+        (
+            "split by PGO profile (compiler heuristic)",
+            WpaOptions {
+                intra: IntraOrder::Original,
+                cold_source: ColdSource::PgoFrequencies,
+                ..WpaOptions::default()
+            },
+        ),
+        (
+            "split by hw samples (original order)",
+            WpaOptions {
+                intra: IntraOrder::Original,
+                ..WpaOptions::default()
+            },
+        ),
+        ("propeller (reorder+split)", WpaOptions::default()),
+    ];
+    let (base, results) = run_layout_variants("clang", &cfg, &variants);
+    let mut t = Table::new(&[
+        "config",
+        "speedup",
+        "iTLB misses",
+        "L1i misses",
+        "taken branches",
+        "hot funcs",
+    ]);
+    for (label, c, stats) in &results {
+        t.row(vec![
+            label.clone(),
+            format!("{:+.2}%", c.speedup_pct_over(&base)),
+            format!("{:+.1}%", c.delta_pct(&base, |x| x.itlb_misses)),
+            format!("{:+.1}%", c.delta_pct(&base, |x| x.l1i_misses)),
+            format!("{:+.1}%", c.delta_pct(&base, |x| x.taken_branches)),
+            format!("{}", stats.hot_functions),
+        ]);
+    }
+    println!("§4.6 ablation: function splitting on clang (vs PGO+ThinLTO baseline)\n");
+    println!("{}", t.render());
+    println!("(paper: sample-driven splitting ~2x better than heuristic; up to -40% iTLB, -5% icache)");
+}

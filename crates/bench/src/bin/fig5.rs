@@ -1,0 +1,50 @@
+//! Figure 5 — Peak memory usage of Phase 4 (relink) vs BOLT
+//! optimizations vs the baseline link action.
+//!
+//! The paper's claim: Propeller's relink stays at (baseline) linker
+//! memory — ~2x its inputs — while introducing BOLT as a monolithic
+//! post-link step would shift the peak memory bottleneck from the link
+//! action to BOLT (up to 5x the baseline link on MySQL).
+
+use propeller_bench::table::human_bytes;
+use propeller_bench::{run_benchmark, runner, RunConfig, Table};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let mut t = Table::new(&[
+        "Benchmark",
+        "Baseline link",
+        "Propeller relink (P4)",
+        "BOLT optimize",
+        "BOLT/link",
+    ]);
+    let mut names = runner::default_benchmarks();
+    names.extend(runner::spec_benchmarks());
+    for name in names {
+        let a = run_benchmark(name, &cfg);
+        let base_link = a.full_scale(a.baseline.stats.modeled_peak_memory);
+        let relink = a.full_scale(
+            a.pipeline
+                .po_binary()
+                .expect("phase 4 ran")
+                .stats
+                .modeled_peak_memory,
+        );
+        let bolt = a
+            .bolt
+            .as_ref()
+            .map(|o| a.full_scale(o.stats.optimize_peak_memory))
+            .unwrap_or(0);
+        t.row(vec![
+            a.spec.name.to_string(),
+            human_bytes(base_link),
+            human_bytes(relink),
+            human_bytes(bolt),
+            format!("{:.1}x", bolt as f64 / base_link.max(1) as f64),
+        ]);
+        eprintln!("[fig5] {name} done");
+    }
+    println!("Figure 5: peak memory, Phase 4 relink vs BOLT optimize vs baseline link (full scale)\n");
+    println!("{}", t.render());
+    println!("(paper: Propeller relink ~= baseline link; BOLT up to 5x baseline link)");
+}

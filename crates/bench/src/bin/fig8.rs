@@ -1,0 +1,94 @@
+//! Figure 8 — Performance counter data for Search (with hugepages) and
+//! Clang (without), normalized to the PGO+ThinLTO baseline.
+//!
+//! Events (Table 4): I1 = L1 i-cache stall misses, I2 = L2 code read
+//! misses, I3 = code misses to memory, T1 = iTLB misses, T2 = iTLB
+//! stall misses (walks), B1 = branch resteers (`baclears.any`), B2 =
+//! taken branches.
+//!
+//! Paper: up to 30-40% i-cache miss reduction, 21-28% iTLB reduction
+//! (up to ~85% for T2 on Search with hugepages), ~22-30% fewer
+//! resteers, 15-20% fewer taken branches.
+
+use propeller_bench::{run_benchmark, RunConfig, Table};
+use propeller_sim::CounterSet;
+
+fn rows(t: &mut Table, label: &str, c: &CounterSet, base: &CounterSet) {
+    let norm = |m: fn(&CounterSet) -> u64| -> String {
+        let b = m(base) as f64 / base.insts.max(1) as f64;
+        let v = m(c) as f64 / c.insts.max(1) as f64;
+        if b == 0.0 {
+            "n/a".into()
+        } else {
+            format!("{:.0}%", v * 100.0 / b)
+        }
+    };
+    t.row(vec![
+        label.to_string(),
+        norm(|c| c.l1i_misses),
+        norm(|c| c.l2_code_misses),
+        norm(|c| c.l3_code_misses),
+        norm(|c| c.itlb_misses),
+        norm(|c| c.stlb_walks),
+        norm(|c| c.baclears),
+        norm(|c| c.taken_branches),
+        norm(|c| c.dsb_misses),
+    ]);
+}
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    for name in ["search", "clang"] {
+        let a = run_benchmark(name, &cfg);
+        let mut t = Table::new(&[
+            "binary", "I1", "I2", "I3", "T1", "T2", "B1", "B2", "DSB",
+        ]);
+        rows(&mut t, "Propeller", &a.prop_counters, &a.base_counters);
+        if let Some(bc) = &a.bolt_counters {
+            rows(&mut t, "BOLT", bc, &a.base_counters);
+        } else {
+            eprintln!("[fig8] BOLT binary for {name} crashes; skipping its row");
+        }
+        println!(
+            "Figure 8 [{}{}]: counters normalized to baseline = 100% (lower is better)\n",
+            a.spec.name,
+            if a.spec.hugepages { ", hugepages" } else { "" }
+        );
+        println!("{}", t.render());
+        if a.spec.hugepages {
+            // At the evaluation scale the 8x2MiB hugepage iTLB covers
+            // the entire (shrunken) text segment, so the hugepage run
+            // shows no TLB pressure. Re-measure with 4 KiB pages so
+            // the T1/T2 layout effect is visible at this scale.
+            println!(
+                "[note] at scale {:.4} the text fits the hugepage iTLB; 4 KiB-page rerun below:\n",
+                a.scale
+            );
+            let uarch = propeller_sim::UarchConfig::default();
+            let sim4k = |layout: &propeller_linker::FinalLayout| {
+                let img =
+                    propeller_sim::ProgramImage::build(a.pipeline.program(), layout).unwrap();
+                propeller_sim::simulate(
+                    &img,
+                    &a.workload,
+                    &uarch,
+                    &propeller_sim::SimOptions::default(),
+                )
+                .counters
+            };
+            let base = sim4k(&a.baseline.layout);
+            let prop = sim4k(&a.pipeline.po_binary().unwrap().layout);
+            let mut t = Table::new(&[
+                "binary", "I1", "I2", "I3", "T1", "T2", "B1", "B2", "DSB",
+            ]);
+            rows(&mut t, "Propeller", &prop, &base);
+            if let Ok(bolt) = &a.bolt {
+                if !bolt.crash_on_startup {
+                    rows(&mut t, "BOLT", &sim4k(&bolt.layout), &base);
+                }
+            }
+            println!("{}", t.render());
+        }
+    }
+    println!("(paper: I1/I2 down to ~60-70%, T1 ~75%, T2 down to ~15% w/ hugepages, B1 ~70-78%, B2 ~80-85%)");
+}

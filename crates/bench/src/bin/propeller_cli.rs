@@ -1,0 +1,218 @@
+//! A command-line driver for the Propeller reproduction.
+//!
+//! ```text
+//! propeller_cli list
+//!     List the available benchmark specs (Table 2).
+//!
+//! propeller_cli run <benchmark> [--scale S] [--seed N] [--out DIR]
+//!     Generate the benchmark, run the 4-phase pipeline, evaluate
+//!     against the baseline, and (with --out) write cc_prof.txt and
+//!     ld_prof.txt — the two artifacts of Figure 1.
+//!
+//! propeller_cli compare <benchmark> [--scale S] [--seed N]
+//!     Run both Propeller and the BOLT comparator on the same profile
+//!     and print the head-to-head summary.
+//!
+//! propeller_cli dump <benchmark> [--scale S] [--seed N]
+//!     Print the generated program as an IR listing.
+//!
+//! propeller_cli map <benchmark> [--scale S] [--seed N]
+//!     Print the optimized binary's linker map.
+//! ```
+
+use propeller::{Propeller, PropellerOptions};
+use propeller_bench::{run_benchmark, RunConfig};
+use propeller_synth::{all_specs, generate, spec_by_name, GenParams};
+use propeller_wpa::cluster_map_to_text;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: propeller_cli <list | run <bench> | compare <bench> | dump <bench> | map <bench>> \
+         [--scale S] [--seed N] [--out DIR]"
+    );
+    ExitCode::FAILURE
+}
+
+fn generate_for(args: &Args) -> Option<propeller_synth::GeneratedBenchmark> {
+    let spec = spec_by_name(&args.benchmark)?;
+    Some(generate(
+        &spec,
+        &GenParams {
+            scale: args.scale.unwrap_or(spec.default_scale),
+            seed: args.seed,
+            funcs_per_module: 12,
+            entry_points: 4,
+        },
+    ))
+}
+
+struct Args {
+    benchmark: String,
+    scale: Option<f64>,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args(mut rest: std::env::Args) -> Option<Args> {
+    let benchmark = rest.next()?;
+    let mut args = Args {
+        benchmark,
+        scale: None,
+        seed: 0xA5_2023,
+        out: None,
+    };
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--scale" => args.scale = Some(rest.next()?.parse().ok()?),
+            "--seed" => args.seed = rest.next()?.parse().ok()?,
+            "--out" => args.out = Some(rest.next()?),
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args();
+    let _ = argv.next();
+    match argv.next().as_deref() {
+        Some("list") => {
+            println!(
+                "{:<15} {:>10} {:>9} {:>10} {:>7} {:>9}",
+                "benchmark", "text", "funcs", "blocks", "%cold", "scale"
+            );
+            for s in all_specs() {
+                println!(
+                    "{:<15} {:>9}M {:>9} {:>10} {:>6.0}% {:>9.4}",
+                    s.name,
+                    s.text_bytes / (1024 * 1024),
+                    s.funcs,
+                    s.blocks,
+                    s.cold_object_fraction * 100.0,
+                    s.default_scale
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(args) = parse_args(argv) else {
+                return usage();
+            };
+            let Some(spec) = spec_by_name(&args.benchmark) else {
+                eprintln!("unknown benchmark {:?} (try `list`)", args.benchmark);
+                return ExitCode::FAILURE;
+            };
+            let gen = generate(
+                &spec,
+                &GenParams {
+                    scale: args.scale.unwrap_or(spec.default_scale),
+                    seed: args.seed,
+                    funcs_per_module: 12,
+                    entry_points: 4,
+                },
+            );
+            println!("{}: {}", spec.name, gen.program.stats());
+            let mut pipeline =
+                Propeller::new(gen.program, gen.entries, PropellerOptions::default());
+            let report = match pipeline.run_all() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("pipeline failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "hot functions: {}; hot modules: {:.0}%; cache hits: {}; relaxation: {} jumps deleted, {} branches shrunk",
+                report.hot_functions,
+                report.hot_module_fraction * 100.0,
+                report.object_cache.hits,
+                report.deleted_jumps,
+                report.shrunk_branches
+            );
+            let eval = pipeline.evaluate(400_000).expect("phases ran");
+            println!(
+                "speedup over PGO+ThinLTO baseline: {:+.2}% ({} -> {} cycles)",
+                eval.speedup_pct(),
+                eval.baseline.cycles,
+                eval.optimized.cycles
+            );
+            if let Some(dir) = args.out {
+                let wpa = pipeline.wpa_output().expect("phase 3 ran");
+                let dir = std::path::Path::new(&dir);
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                let cc = cluster_map_to_text(&wpa.cluster_map, pipeline.program());
+                let ld = wpa.symbol_order.to_file_contents();
+                for (name, contents) in [("cc_prof.txt", cc), ("ld_prof.txt", ld)] {
+                    let path = dir.join(name);
+                    if let Err(e) = std::fs::write(&path, contents) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {}", path.display());
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("compare") => {
+            let Some(args) = parse_args(argv) else {
+                return usage();
+            };
+            let mut cfg = RunConfig::default();
+            cfg.seed = args.seed;
+            if let Some(s) = args.scale {
+                cfg.scale_mult = s; // multiplier on the spec default
+            }
+            let a = run_benchmark(&args.benchmark, &cfg);
+            println!(
+                "{} ({}): Propeller {:+.2}%",
+                a.spec.name,
+                a.spec.metric,
+                a.prop_counters.speedup_pct_over(&a.base_counters)
+            );
+            match (&a.bolt, &a.bolt_counters) {
+                (Ok(out), Some(c)) if !out.crash_on_startup => println!(
+                    "{} ({}): BOLT      {:+.2}%",
+                    a.spec.name,
+                    a.spec.metric,
+                    c.speedup_pct_over(&a.base_counters)
+                ),
+                (Ok(_), _) => println!("{}: BOLT-optimized binary crashes at startup", a.spec.name),
+                (Err(e), _) => println!("{}: BOLT failed: {e}", a.spec.name),
+            }
+            ExitCode::SUCCESS
+        }
+        Some("dump") => {
+            let Some(args) = parse_args(argv) else {
+                return usage();
+            };
+            let Some(gen) = generate_for(&args) else {
+                eprintln!("unknown benchmark {:?}", args.benchmark);
+                return ExitCode::FAILURE;
+            };
+            print!("{}", propeller_ir::pretty::program_to_string(&gen.program));
+            ExitCode::SUCCESS
+        }
+        Some("map") => {
+            let Some(args) = parse_args(argv) else {
+                return usage();
+            };
+            let Some(gen) = generate_for(&args) else {
+                eprintln!("unknown benchmark {:?}", args.benchmark);
+                return ExitCode::FAILURE;
+            };
+            let mut pipeline =
+                Propeller::new(gen.program, gen.entries, PropellerOptions::default());
+            if let Err(e) = pipeline.run_all() {
+                eprintln!("pipeline failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            print!("{}", pipeline.po_binary().expect("phase 4 ran").map_report());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,58 @@
+//! §5.4 — Impact of code layout optimizations on SPEC2017 integer
+//! benchmarks: per-benchmark speedups plus the taken-branch and
+//! i-cache-miss deltas.
+//!
+//! Paper: small wins and small regressions on both sides (BOLT +0.4%
+//! on perlbench, Propeller +1% on leela; ~2-2.4% average regressions
+//! on 5 benchmarks each; 505.mcf regresses under both). On average
+//! taken branches drop ~10% and icache misses ~20%.
+
+use propeller_bench::{run_benchmark, runner::spec_benchmarks, RunConfig, Table};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let mut t = Table::new(&[
+        "Benchmark",
+        "Propeller",
+        "BOLT",
+        "taken Δ (Prop)",
+        "L1i Δ (Prop)",
+        "DSB Δ (Prop)",
+    ]);
+    let mut taken_sum = 0.0;
+    let mut icache_sum = 0.0;
+    let mut n = 0.0;
+    for name in spec_benchmarks() {
+        let a = run_benchmark(name, &cfg);
+        let prop = a.prop_counters.speedup_pct_over(&a.base_counters);
+        let bolt = a
+            .bolt_counters
+            .as_ref()
+            .map(|c| format!("{:+.1}%", c.speedup_pct_over(&a.base_counters)))
+            .unwrap_or_else(|| "n/a".into());
+        let taken = a
+            .prop_counters
+            .delta_pct(&a.base_counters, |c| c.taken_branches);
+        let icache = a.prop_counters.delta_pct(&a.base_counters, |c| c.l1i_misses);
+        let dsb = a.prop_counters.delta_pct(&a.base_counters, |c| c.dsb_misses);
+        taken_sum += taken;
+        icache_sum += icache;
+        n += 1.0;
+        t.row(vec![
+            a.spec.name.to_string(),
+            format!("{prop:+.1}%"),
+            bolt,
+            format!("{taken:+.1}%"),
+            format!("{icache:+.1}%"),
+            format!("{dsb:+.1}%"),
+        ]);
+        eprintln!("[spec] {name} done");
+    }
+    println!("SPEC2017 integer benchmarks (§5.4)\n");
+    println!("{}", t.render());
+    println!(
+        "averages: taken branches {:+.1}%, L1i misses {:+.1}% (paper: ~-10% and ~-20%)",
+        taken_sum / n,
+        icache_sum / n
+    );
+}

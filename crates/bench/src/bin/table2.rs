@@ -1,0 +1,44 @@
+//! Table 2 — Benchmark Characteristics.
+//!
+//! Prints the full-scale spec targets (the paper's numbers) next to
+//! the characteristics of the generated program at the evaluation
+//! scale, so the fidelity of the generator is visible.
+
+use propeller_bench::table::human_bytes;
+use propeller_bench::{Table};
+use propeller_synth::{all_specs, generate, GenParams};
+
+fn main() {
+    let mut t = Table::new(&[
+        "Benchmark",
+        "Text (paper)",
+        "#Funcs (paper)",
+        "#BBs (paper)",
+        "%Cold (paper)",
+        "scale",
+        "#Funcs (gen)",
+        "#BBs (gen)",
+        "%Cold objs (gen)",
+    ]);
+    for spec in all_specs() {
+        let mut params = GenParams::for_spec(&spec);
+        if std::env::var("PROPELLER_QUICK").map_or(false, |v| v == "1") {
+            params.scale *= 0.25;
+        }
+        let g = generate(&spec, &params);
+        let s = g.program.stats();
+        t.row(vec![
+            spec.name.to_string(),
+            human_bytes(spec.text_bytes),
+            format!("{}", spec.funcs),
+            format!("{}", spec.blocks),
+            format!("{:.0}%", spec.cold_object_fraction * 100.0),
+            format!("{:.4}", params.scale),
+            format!("{}", s.num_functions),
+            format!("{}", s.num_blocks),
+            format!("{:.0}%", s.cold_module_fraction() * 100.0),
+        ]);
+    }
+    println!("Table 2: benchmark characteristics (paper targets vs generated)\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,36 @@
+//! Table 3 — Performance improvements of Propeller and BOLT optimized
+//! binaries over PGO and ThinLTO.
+//!
+//! Paper values: Clang +7.3%/+7.3%, MySQL +1%/+0.8%, Spanner
+//! +7%/Crash, Search +3%/+4%, Superroot +1.1%/Crash, Bigtable
+//! +3%/Crash. The reproduction reports the same rows from the
+//! simulator; BOLT rows show "Crash" for the binaries whose rewriting
+//! corrupts integrity-checked code (§5.8).
+
+use propeller_bench::{run_benchmark, runner::default_benchmarks, RunConfig, Table};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let mut t = Table::new(&["Benchmark", "Metric", "Propeller", "BOLT (lite=0)"]);
+    for name in default_benchmarks() {
+        let a = run_benchmark(name, &cfg);
+        let prop = a.prop_counters.speedup_pct_over(&a.base_counters);
+        let bolt = match (&a.bolt, &a.bolt_counters) {
+            (Ok(out), Some(c)) if !out.crash_on_startup => {
+                format!("{:+.1}%", c.speedup_pct_over(&a.base_counters))
+            }
+            (Ok(_), _) => "Crash".to_string(),
+            (Err(e), _) => format!("Error: {e}"),
+        };
+        t.row(vec![
+            a.spec.name.to_string(),
+            a.spec.metric.to_string(),
+            format!("{prop:+.1}%"),
+            bolt,
+        ]);
+        eprintln!("[table3] {name} done");
+    }
+    println!("Table 3: performance improvements over PGO+ThinLTO baseline\n");
+    println!("{}", t.render());
+    println!("(paper: clang +7.3/+7.3, mysql +1/+0.8, spanner +7/Crash, search +3/+4, superroot +1.1/Crash, bigtable +3/Crash)");
+}

@@ -1,0 +1,157 @@
+//! hfsort/C³-style function reordering (the `-reorder-functions=hfsort`
+//! pass of the comparator).
+//!
+//! "Call-Chain Clustering": functions are visited hottest-first; each
+//! is appended to its heaviest caller's cluster unless the merged
+//! cluster would exceed the size cap. Clusters are then emitted in
+//! decreasing density order.
+
+use std::collections::HashMap;
+
+/// A function as the clusterer sees it.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct FuncInfo {
+    /// Caller-meaningful id.
+    pub id: u32,
+    /// Code size in bytes.
+    pub size: u64,
+    /// Sample count.
+    pub samples: u64,
+}
+
+/// Maximum merged-cluster size: keeps clusters within a hugepage so
+/// the hottest functions land on few pages.
+pub const MAX_CLUSTER_BYTES: u64 = 2 * 1024 * 1024;
+
+/// Orders functions by call-chain clustering.
+///
+/// `calls` maps `(caller id, callee id)` to call weight. Functions
+/// never sampled keep their relative order after all sampled ones.
+pub fn hfsort_order(funcs: &[FuncInfo], calls: &HashMap<(u32, u32), u64>) -> Vec<u32> {
+    let n = funcs.len();
+    let idx_of: HashMap<u32, usize> = funcs.iter().enumerate().map(|(i, f)| (f.id, i)).collect();
+    // Heaviest caller per function.
+    let mut best_caller: HashMap<usize, (usize, u64)> = HashMap::new();
+    for (&(caller, callee), &w) in calls {
+        let (Some(&c), Some(&f)) = (idx_of.get(&caller), idx_of.get(&callee)) else {
+            continue;
+        };
+        if c == f {
+            continue;
+        }
+        let e = best_caller.entry(f).or_insert((c, 0));
+        if w > e.1 || (w == e.1 && c < e.0) {
+            *e = (c, w);
+        }
+    }
+
+    // Clusters as ordered member lists.
+    let mut cluster_of: Vec<usize> = (0..n).collect();
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut sizes: Vec<u64> = funcs.iter().map(|f| f.size.max(1)).collect();
+    let mut samples: Vec<u64> = funcs.iter().map(|f| f.samples).collect();
+
+    let mut hot: Vec<usize> = (0..n).filter(|&i| funcs[i].samples > 0).collect();
+    hot.sort_by(|&a, &b| {
+        let da = funcs[a].samples as f64 / funcs[a].size.max(1) as f64;
+        let db = funcs[b].samples as f64 / funcs[b].size.max(1) as f64;
+        db.total_cmp(&da).then(a.cmp(&b))
+    });
+
+    for &f in &hot {
+        let Some(&(caller, _)) = best_caller.get(&f) else {
+            continue;
+        };
+        let cf = cluster_of[f];
+        let cc = cluster_of[caller];
+        if cf == cc || sizes[cf] + sizes[cc] > MAX_CLUSTER_BYTES {
+            continue;
+        }
+        // Append f's cluster to the caller's.
+        let moved = std::mem::take(&mut members[cf]);
+        for &m in &moved {
+            cluster_of[m] = cc;
+        }
+        members[cc].extend(moved);
+        sizes[cc] += sizes[cf];
+        samples[cc] += samples[cf];
+        sizes[cf] = 0;
+        samples[cf] = 0;
+    }
+
+    // Emit sampled clusters by density, then never-sampled functions
+    // in input order.
+    let mut roots: Vec<usize> = (0..n).filter(|&c| !members[c].is_empty()).collect();
+    roots.sort_by(|&a, &b| {
+        let da = samples[a] as f64 / sizes[a].max(1) as f64;
+        let db = samples[b] as f64 / sizes[b].max(1) as f64;
+        db.total_cmp(&da).then(a.cmp(&b))
+    });
+    let mut order = Vec::with_capacity(n);
+    let mut trailer = Vec::new();
+    for c in roots {
+        for &m in &members[c] {
+            if samples[cluster_of[m]] > 0 || funcs[m].samples > 0 {
+                order.push(funcs[m].id);
+            } else {
+                trailer.push(funcs[m].id);
+            }
+        }
+    }
+    order.extend(trailer);
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(id: u32, size: u64, samples: u64) -> FuncInfo {
+        FuncInfo { id, size, samples }
+    }
+
+    #[test]
+    fn callee_joins_heaviest_caller() {
+        // 0 calls 2 heavily, 1 calls 2 lightly.
+        let funcs = vec![f(0, 100, 1000), f(1, 100, 900), f(2, 100, 800)];
+        let mut calls = HashMap::new();
+        calls.insert((0, 2), 500u64);
+        calls.insert((1, 2), 10);
+        let order = hfsort_order(&funcs, &calls);
+        let p0 = order.iter().position(|&x| x == 0).unwrap();
+        let p2 = order.iter().position(|&x| x == 2).unwrap();
+        assert_eq!(p2, p0 + 1, "callee right after its hot caller: {order:?}");
+    }
+
+    #[test]
+    fn cold_functions_trail() {
+        let funcs = vec![f(0, 10, 0), f(1, 10, 100), f(2, 10, 0)];
+        let order = hfsort_order(&funcs, &HashMap::new());
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn size_cap_blocks_merging() {
+        let funcs = vec![f(0, MAX_CLUSTER_BYTES, 1000), f(1, MAX_CLUSTER_BYTES, 900)];
+        let mut calls = HashMap::new();
+        calls.insert((0, 1), 500u64);
+        let order = hfsort_order(&funcs, &calls);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn output_is_permutation() {
+        let funcs: Vec<FuncInfo> = (0..50)
+            .map(|i| f(i, 64 + i as u64, (i as u64 * 7) % 13))
+            .collect();
+        let mut calls = HashMap::new();
+        for i in 0..49u32 {
+            calls.insert((i, i + 1), (i as u64 * 31) % 40);
+        }
+        let mut order = hfsort_order(&funcs, &calls);
+        order.sort_unstable();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,81 @@
+//! Pipeline errors.
+
+use propeller_buildsys::BuildError;
+use propeller_codegen::CodegenError;
+use propeller_linker::LinkError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure of the four-phase pipeline.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PipelineError {
+    /// A codegen action failed.
+    Codegen(CodegenError),
+    /// A link action failed.
+    Link(LinkError),
+    /// The build system rejected an action (memory limit).
+    Build(BuildError),
+    /// A phase was invoked before its prerequisite phase.
+    PhaseOrder {
+        /// The missing prerequisite.
+        needs: &'static str,
+    },
+    /// The simulator could not build an image from the linked binary.
+    Image(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Codegen(e) => write!(f, "codegen action failed: {e}"),
+            PipelineError::Link(e) => write!(f, "link action failed: {e}"),
+            PipelineError::Build(e) => write!(f, "build system rejected action: {e}"),
+            PipelineError::PhaseOrder { needs } => {
+                write!(f, "phase invoked before {needs} completed")
+            }
+            PipelineError::Image(e) => write!(f, "simulator image construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Codegen(e) => Some(e),
+            PipelineError::Link(e) => Some(e),
+            PipelineError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodegenError> for PipelineError {
+    fn from(e: CodegenError) -> Self {
+        PipelineError::Codegen(e)
+    }
+}
+
+impl From<LinkError> for PipelineError {
+    fn from(e: LinkError) -> Self {
+        PipelineError::Link(e)
+    }
+}
+
+impl From<BuildError> for PipelineError {
+    fn from(e: BuildError) -> Self {
+        PipelineError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PipelineError::PhaseOrder { needs: "phase 3" };
+        assert!(e.to_string().contains("phase 3"));
+        let e = PipelineError::Link(LinkError::DuplicateSymbol("x".into()));
+        assert!(e.source().is_some());
+    }
+}

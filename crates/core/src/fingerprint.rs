@@ -1,0 +1,91 @@
+//! Structural hashing of IR modules for the content-addressed cache.
+
+use propeller_ir::{Inst, Module, Terminator};
+use propeller_obj::ContentHash;
+
+/// Computes a content hash over everything a codegen action reads from
+/// a module: names, block structure, instructions, terminators and
+/// frequencies. Two modules with the same fingerprint compile to the
+/// same object under the same options.
+pub fn module_fingerprint(module: &Module) -> ContentHash {
+    let mut h = ContentHash::of_bytes(module.name.as_bytes());
+    for f in &module.functions {
+        h = h.combine(ContentHash::of_bytes(f.name.as_bytes()));
+        for b in &f.blocks {
+            let mut bytes = Vec::with_capacity(b.insts.len() * 5 + 32);
+            bytes.extend_from_slice(&b.freq.to_le_bytes());
+            bytes.push(u8::from(b.is_landing_pad));
+            for i in &b.insts {
+                match i {
+                    Inst::Alu => bytes.push(1),
+                    Inst::Load => bytes.push(2),
+                    Inst::Store => bytes.push(3),
+                    Inst::Nop => bytes.push(4),
+                    Inst::Call(c) => {
+                        bytes.push(5);
+                        bytes.extend_from_slice(&c.0.to_le_bytes());
+                    }
+                    Inst::Prefetch(t) => {
+                        bytes.push(6);
+                        bytes.extend_from_slice(&t.0.to_le_bytes());
+                    }
+                }
+            }
+            match b.term {
+                Terminator::Ret => bytes.push(10),
+                Terminator::Jump(t) => {
+                    bytes.push(11);
+                    bytes.extend_from_slice(&t.0.to_le_bytes());
+                }
+                Terminator::CondBr {
+                    taken,
+                    fallthrough,
+                    prob_taken,
+                } => {
+                    bytes.push(12);
+                    bytes.extend_from_slice(&taken.0.to_le_bytes());
+                    bytes.extend_from_slice(&fallthrough.0.to_le_bytes());
+                    bytes.extend_from_slice(&prob_taken.to_le_bytes());
+                }
+            }
+            h = h.combine(ContentHash::of_bytes(&bytes));
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_ir::{FunctionBuilder, ProgramBuilder};
+
+    fn program_with(freq: u64) -> propeller_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("a.cc");
+        let mut f = FunctionBuilder::new("f");
+        let b = f.add_block(vec![Inst::Alu], Terminator::Ret);
+        f.set_block_freq(b, freq);
+        pb.add_function(m, f);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn stable_for_identical_modules() {
+        let a = program_with(5);
+        let b = program_with(5);
+        assert_eq!(
+            module_fingerprint(&a.modules()[0]),
+            module_fingerprint(&b.modules()[0])
+        );
+    }
+
+    #[test]
+    fn sensitive_to_frequency_changes() {
+        let a = program_with(5);
+        let b = program_with(6);
+        assert_ne!(
+            module_fingerprint(&a.modules()[0]),
+            module_fingerprint(&b.modules()[0])
+        );
+    }
+}

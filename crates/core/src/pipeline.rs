@@ -1,0 +1,557 @@
+//! The four-phase Propeller pipeline.
+
+use crate::error::PipelineError;
+use crate::fingerprint::module_fingerprint;
+use crate::report::{EvalReport, PhaseTimes, PropellerReport};
+use parking_lot::Mutex;
+use propeller_buildsys::{ActionCache, ActionSpec, CostModel, Executor, MachineConfig, PhaseReport};
+use propeller_codegen::{codegen_module, CodegenError, CodegenOptions, CodegenResult, FunctionClusters};
+use propeller_ir::{FunctionId, Program};
+use propeller_linker::{link, LinkInput, LinkOptions, LinkedBinary};
+use propeller_obj::ContentHash;
+use propeller_profile::{HardwareProfile, SamplingConfig};
+use propeller_sim::{simulate, ProgramImage, SimOptions, UarchConfig, Workload};
+use propeller_wpa::{apply_prefetches, prefetch_directives, run_wpa, WpaOptions, WpaOutput};
+use std::sync::Arc;
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PropellerOptions {
+    /// Whole-program-analysis configuration.
+    pub wpa: WpaOptions,
+    /// LBR sampling configuration for the profiling run.
+    pub sampling: SamplingConfig,
+    /// Basic blocks to execute while profiling (the "representative
+    /// load" duration).
+    pub profile_budget: u64,
+    /// Microarchitecture the workload runs on.
+    pub uarch: UarchConfig,
+    /// Machine the build runs on (distributed by default).
+    pub machine: MachineConfig,
+    /// Build-action cost model.
+    pub cost: CostModel,
+    /// Workload seed.
+    pub seed: u64,
+    /// §3.5 software prefetch insertion: `Some(min_misses)` enables
+    /// the pass, inserting prefetches at call sites whose callee entry
+    /// missed the L1i at least `min_misses` times during profiling.
+    pub prefetch: Option<u64>,
+}
+
+impl Default for PropellerOptions {
+    fn default() -> Self {
+        PropellerOptions {
+            wpa: WpaOptions::default(),
+            sampling: SamplingConfig::default(),
+            profile_budget: 200_000,
+            uarch: UarchConfig::default(),
+            machine: MachineConfig::distributed(),
+            cost: CostModel::default(),
+            seed: 0x5eed,
+            prefetch: None,
+        }
+    }
+}
+
+/// Content-addressed build caches, shareable between pipeline
+/// instances: successive releases of the same application reuse each
+/// other's IR and object artifacts exactly the way the paper's
+/// distributed build system does (§2.1, ">90% hit rate").
+#[derive(Clone, Default)]
+pub struct BuildCaches {
+    ir: Arc<Mutex<ActionCache<ContentHash>>>,
+    obj: Arc<Mutex<ActionCache<Arc<CodegenResult>>>>,
+}
+
+impl BuildCaches {
+    /// Creates empty caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Object-cache statistics (cumulative across every pipeline
+    /// sharing these caches).
+    pub fn object_stats(&self) -> propeller_buildsys::CacheStats {
+        self.obj.lock().stats()
+    }
+}
+
+/// The pipeline driver. Owns the program, the build caches, and all
+/// intermediate artifacts.
+pub struct Propeller {
+    program: Arc<Program>,
+    entries: Vec<(FunctionId, f64)>,
+    opts: PropellerOptions,
+    executor: Executor,
+    caches: BuildCaches,
+    fingerprints: Vec<ContentHash>,
+    compiled: bool,
+    pm_binary: Option<Arc<LinkedBinary>>,
+    baseline_binary: Option<Arc<LinkedBinary>>,
+    profile: Option<HardwareProfile>,
+    wpa_output: Option<WpaOutput>,
+    po_binary: Option<Arc<LinkedBinary>>,
+    /// The program Phase 4 regenerated from (prefetch-augmented when
+    /// the §3.5 pass is enabled).
+    phase4_program: Option<Arc<Program>>,
+    call_misses: Option<std::collections::HashMap<(u64, u64), u64>>,
+    times: PhaseTimes,
+    hot_module_fraction: f64,
+}
+
+fn tag(s: &str) -> ContentHash {
+    ContentHash::of_bytes(s.as_bytes())
+}
+
+fn clusters_hash(clusters: &FunctionClusters) -> ContentHash {
+    let mut bytes = Vec::new();
+    for c in &clusters.clusters {
+        bytes.push(0xC1);
+        for b in &c.blocks {
+            bytes.extend_from_slice(&b.0.to_le_bytes());
+        }
+    }
+    ContentHash::of_bytes(&bytes)
+}
+
+impl Propeller {
+    /// Creates a pipeline over `program` with the given workload entry
+    /// points and fresh build caches.
+    pub fn new(
+        program: Program,
+        entries: Vec<(FunctionId, f64)>,
+        opts: PropellerOptions,
+    ) -> Self {
+        Self::with_caches(program, entries, opts, BuildCaches::new())
+    }
+
+    /// Creates a pipeline that shares `caches` with other pipelines —
+    /// the incremental-release scenario: a later build of a slightly
+    /// changed program hits the cache for every unchanged module.
+    pub fn with_caches(
+        program: Program,
+        entries: Vec<(FunctionId, f64)>,
+        opts: PropellerOptions,
+        caches: BuildCaches,
+    ) -> Self {
+        let executor = Executor::new(opts.machine);
+        let fingerprints = program.modules().iter().map(module_fingerprint).collect();
+        Propeller {
+            program: Arc::new(program),
+            entries,
+            opts,
+            executor,
+            caches,
+            fingerprints,
+            compiled: false,
+            pm_binary: None,
+            baseline_binary: None,
+            profile: None,
+            wpa_output: None,
+            po_binary: None,
+            phase4_program: None,
+            call_misses: None,
+            times: PhaseTimes::default(),
+            hot_module_fraction: 0.0,
+        }
+    }
+
+    /// The program under optimization.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The Phase 2 metadata binary, if built.
+    pub fn pm_binary(&self) -> Option<&LinkedBinary> {
+        self.pm_binary.as_deref()
+    }
+
+    /// The Phase 4 optimized binary, if built.
+    pub fn po_binary(&self) -> Option<&LinkedBinary> {
+        self.po_binary.as_deref()
+    }
+
+    /// The collected hardware profile, if Phase 3 ran.
+    pub fn profile(&self) -> Option<&HardwareProfile> {
+        self.profile.as_ref()
+    }
+
+    /// The WPA output, if Phase 3 ran.
+    pub fn wpa_output(&self) -> Option<&WpaOutput> {
+        self.wpa_output.as_ref()
+    }
+
+    /// Per-phase times so far.
+    pub fn times(&self) -> &PhaseTimes {
+        &self.times
+    }
+
+    /// A simulator workload over this pipeline's entries.
+    pub fn workload(&self, block_budget: u64) -> Workload {
+        let mut w = Workload::new(self.entries.clone(), block_budget);
+        w.seed = self.opts.seed;
+        w
+    }
+
+    /// Phase 1: compile modules to optimized IR and cache them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Build`] if an action exceeds the
+    /// machine's memory limit.
+    pub fn phase1_compile(&mut self) -> Result<PhaseReport, PipelineError> {
+        let mut actions = Vec::new();
+        for (m, &fp) in self.program.modules().iter().zip(&self.fingerprints) {
+            let (_, hit) = self.caches.ir.lock().get_or_compute(fp, || fp);
+            if !hit {
+                let insts: u64 = m.functions.iter().map(|f| f.num_insts() as u64).sum();
+                actions.push(ActionSpec::new(
+                    format!("compile {}", m.name),
+                    self.opts.cost.compile_secs(insts),
+                    64 << 20,
+                ));
+            }
+        }
+        let report = self.executor.run_phase(&actions)?;
+        self.compiled = true;
+        self.times.phase1 = report;
+        Ok(report)
+    }
+
+    /// Runs a batch of codegen actions through the object cache,
+    /// computing cache misses in parallel (the distributed backend
+    /// actions of Phases 2 and 4 are independent by construction).
+    ///
+    /// `plan` is `(module index, cache key, options)` per module, in
+    /// link order; returns the artifacts in the same order plus the
+    /// action specs for the misses.
+    fn codegen_batch(
+        &mut self,
+        program: &Program,
+        plan: Vec<(usize, ContentHash, Arc<CodegenOptions>)>,
+    ) -> Result<(Vec<Arc<CodegenResult>>, Vec<ActionSpec>), PipelineError> {
+        let mut artifacts: Vec<Option<Arc<CodegenResult>>> = vec![None; plan.len()];
+        let mut misses: Vec<(usize, ContentHash, Arc<CodegenOptions>)> = Vec::new();
+        {
+            let mut cache = self.caches.obj.lock();
+            for (pos, (module_idx, key, cg)) in plan.iter().enumerate() {
+                match cache.lookup(*key) {
+                    Some(artifact) => artifacts[pos] = Some(artifact),
+                    None => misses.push((pos, *key, cg.clone())),
+                }
+                let _ = module_idx;
+            }
+        }
+
+        let modules = program.modules();
+        let computed: Vec<(usize, ContentHash, Result<Arc<CodegenResult>, CodegenError>)> =
+            if misses.len() <= 1 {
+                misses
+                    .iter()
+                    .map(|(pos, key, cg)| {
+                        let module_idx = plan[*pos].0;
+                        (
+                            *pos,
+                            *key,
+                            codegen_module(&modules[module_idx], program, cg).map(Arc::new),
+                        )
+                    })
+                    .collect()
+            } else {
+                let results = Mutex::new(Vec::with_capacity(misses.len()));
+                let next = std::sync::atomic::AtomicUsize::new(0);
+                let workers = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+                    .min(misses.len());
+                crossbeam::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(|_| loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some((pos, key, cg)) = misses.get(i) else {
+                                break;
+                            };
+                            let module_idx = plan[*pos].0;
+                            let r = codegen_module(&modules[module_idx], program, cg).map(Arc::new);
+                            results.lock().push((*pos, *key, r));
+                        });
+                    }
+                })
+                .expect("codegen workers do not panic");
+                results.into_inner()
+            };
+
+        let cost = self.opts.cost;
+        let mut actions = Vec::with_capacity(computed.len());
+        {
+            let mut cache = self.caches.obj.lock();
+            for (pos, key, result) in computed {
+                let artifact = result?;
+                cache.insert(key, artifact.clone());
+                let module_idx = plan[pos].0;
+                let module = &modules[module_idx];
+                let insts: u64 = module.functions.iter().map(|f| f.num_insts() as u64).sum();
+                actions.push(ActionSpec::new(
+                    format!("codegen {}", module.name),
+                    cost.codegen_secs(insts),
+                    (64 << 20) + artifact.stats.text_bytes as u64 * 8,
+                ));
+                artifacts[pos] = Some(artifact);
+            }
+        }
+        Ok((
+            artifacts.into_iter().map(|a| a.expect("filled")).collect(),
+            actions,
+        ))
+    }
+
+    /// Phase 2: code-generate every module with BB address map
+    /// metadata and link the `PM` binary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codegen, link and build-system failures.
+    pub fn phase2_build_metadata(&mut self) -> Result<PhaseReport, PipelineError> {
+        if !self.compiled {
+            return Err(PipelineError::PhaseOrder { needs: "phase 1" });
+        }
+        let cg = Arc::new(CodegenOptions::with_labels());
+        let plan: Vec<_> = (0..self.program.num_modules())
+            .map(|i| (i, self.fingerprints[i].combine(tag("labels")), cg.clone()))
+            .collect();
+        let program = self.program.clone();
+        let (artifacts, actions) = self.codegen_batch(&program, plan)?;
+        let inputs: Vec<LinkInput> = artifacts
+            .iter()
+            .map(|a| LinkInput::new(a.object.clone(), a.debug_layout.clone()))
+            .collect();
+        let codegen_phase = self.executor.run_phase(&actions)?;
+        let bin = link(
+            &inputs,
+            &LinkOptions {
+                output_name: "app.pm".into(),
+                ..LinkOptions::default()
+            },
+        )?;
+        let link_phase = self.executor.run_phase(&[ActionSpec::new(
+            "link app.pm",
+            self.opts.cost.link_secs(bin.stats.input_bytes),
+            bin.stats.modeled_peak_memory,
+        )])?;
+        self.times.phase2 = codegen_phase.then(&link_phase);
+        self.pm_binary = Some(Arc::new(bin));
+        Ok(self.times.phase2)
+    }
+
+    /// Phase 3: run the workload under the profiler, then whole-program
+    /// analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build-system failures (e.g. WPA exceeding the
+    /// per-action memory limit) and image-construction failures.
+    pub fn phase3_profile_and_analyze(&mut self) -> Result<PhaseReport, PipelineError> {
+        let Some(pm) = self.pm_binary.clone() else {
+            return Err(PipelineError::PhaseOrder { needs: "phase 2" });
+        };
+        let image = ProgramImage::build(&self.program, &pm.layout)
+            .map_err(|e| PipelineError::Image(e.to_string()))?;
+        let run = simulate(
+            &image,
+            &self.workload(self.opts.profile_budget),
+            &self.opts.uarch,
+            &SimOptions {
+                sampling: Some(self.opts.sampling),
+                heatmap: None,
+                collect_call_misses: self.opts.prefetch.is_some(),
+            },
+        );
+        self.call_misses = run.call_misses;
+        let profile = run.profile.expect("sampling enabled");
+        let wpa = run_wpa(&self.program, &pm, &profile, &self.opts.wpa);
+        let cpu = self.opts.cost.profile_conversion_secs(profile.raw_size_bytes())
+            + self.opts.cost.wpa_secs(wpa.stats.dcfg_edges as u64);
+        let report = self.executor.run_phase(&[ActionSpec::new(
+            "whole-program analysis",
+            cpu,
+            wpa.stats.modeled_peak_memory,
+        )])?;
+        self.times.phase3 = report;
+        self.profile = Some(profile);
+        self.wpa_output = Some(wpa);
+        Ok(report)
+    }
+
+    /// Phase 4: regenerate hot modules with basic block sections, reuse
+    /// cold objects from the cache, and relink with the global order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codegen, link and build-system failures.
+    pub fn phase4_relink(&mut self) -> Result<PhaseReport, PipelineError> {
+        let Some(wpa) = self.wpa_output.as_ref() else {
+            return Err(PipelineError::PhaseOrder { needs: "phase 3" });
+        };
+        let cluster_map = wpa.cluster_map.clone();
+        let symbol_order = wpa.symbol_order.clone();
+
+        // §3.5: insert software prefetches at miss-heavy call sites,
+        // then regenerate hot modules from the augmented IR (the
+        // paper's "summary-based directive" driving the distributed
+        // codegen actions).
+        let phase4_program: Arc<Program> = match (self.opts.prefetch, &self.call_misses) {
+            (Some(min_misses), Some(misses)) => {
+                let pm = self.pm_binary.as_ref().expect("phase 2 ran");
+                let directives =
+                    prefetch_directives(&self.program, pm, misses, min_misses, 2);
+                Arc::new(apply_prefetches(&self.program, &directives))
+            }
+            _ => self.program.clone(),
+        };
+        let phase4_fingerprints: Vec<ContentHash> = phase4_program
+            .modules()
+            .iter()
+            .map(module_fingerprint)
+            .collect();
+
+        // A module is hot iff any of its functions has directives.
+        let mut hot_modules = 0usize;
+        let labels = Arc::new(CodegenOptions::with_labels());
+        let clusters_cg = Arc::new(CodegenOptions::with_clusters(cluster_map.clone()));
+        let mut plan = Vec::with_capacity(phase4_program.num_modules());
+        for i in 0..phase4_program.num_modules() {
+            let directive_hash = phase4_program.modules()[i]
+                .functions
+                .iter()
+                .filter_map(|f| cluster_map.get(f.id).map(clusters_hash))
+                .fold(None::<ContentHash>, |acc, h| {
+                    Some(acc.map_or(h, |a| a.combine(h)))
+                });
+            let (key, cg) = match directive_hash {
+                Some(dh) => {
+                    hot_modules += 1;
+                    (
+                        phase4_fingerprints[i].combine(tag("clusters")).combine(dh),
+                        clusters_cg.clone(),
+                    )
+                }
+                // Module without cluster directives: its Phase 4
+                // inputs are identical to the Phase 2 action's, so this
+                // is a cache hit — the paper's "cold object files are
+                // retrieved from the cache". The phase-4 fingerprint is
+                // used so a module touched only by prefetch insertion
+                // is correctly regenerated instead.
+                None => (
+                    phase4_fingerprints[i].combine(tag("labels")),
+                    labels.clone(),
+                ),
+            };
+            plan.push((i, key, cg));
+        }
+        self.hot_module_fraction = hot_modules as f64 / self.program.num_modules().max(1) as f64;
+        let (artifacts, actions) = self.codegen_batch(&phase4_program.clone(), plan)?;
+        let inputs: Vec<LinkInput> = artifacts
+            .iter()
+            .map(|a| LinkInput::new(a.object.clone(), a.debug_layout.clone()))
+            .collect();
+        let codegen_phase = self.executor.run_phase(&actions)?;
+        let bin = link(
+            &inputs,
+            &LinkOptions {
+                output_name: "app.propeller".into(),
+                symbol_order: Some(symbol_order),
+                relax: true,
+                drop_cold_bb_addr_map: true,
+                ..LinkOptions::default()
+            },
+        )?;
+        let link_phase = self.executor.run_phase(&[ActionSpec::new(
+            "relink app.propeller",
+            self.opts.cost.link_secs(bin.stats.input_bytes),
+            bin.stats.modeled_peak_memory,
+        )])?;
+        self.times.phase4 = codegen_phase.then(&link_phase);
+        self.po_binary = Some(Arc::new(bin));
+        self.phase4_program = Some(phase4_program);
+        Ok(self.times.phase4)
+    }
+
+    /// Runs all four phases.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing phase's error.
+    pub fn run_all(&mut self) -> Result<PropellerReport, PipelineError> {
+        self.phase1_compile()?;
+        self.phase2_build_metadata()?;
+        self.phase3_profile_and_analyze()?;
+        self.phase4_relink()?;
+        let wpa = self.wpa_output.as_ref().expect("phase 3 ran");
+        let po = self.po_binary.as_ref().expect("phase 4 ran");
+        Ok(PropellerReport {
+            times: self.times,
+            object_cache: self.caches.object_stats(),
+            hot_module_fraction: self.hot_module_fraction,
+            hot_functions: wpa.stats.hot_functions,
+            deleted_jumps: po.stats.deleted_jumps,
+            shrunk_branches: po.stats.shrunk_branches,
+            optimized_binary_name: po.name.clone(),
+        })
+    }
+
+    /// Builds (and caches) the plain baseline binary — the PGO+ThinLTO
+    /// equivalent all evaluations compare against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codegen and link failures.
+    pub fn build_baseline(&mut self) -> Result<Arc<LinkedBinary>, PipelineError> {
+        if let Some(b) = &self.baseline_binary {
+            return Ok(b.clone());
+        }
+        let cg = Arc::new(CodegenOptions::baseline());
+        let plan: Vec<_> = (0..self.program.num_modules())
+            .map(|i| (i, self.fingerprints[i].combine(tag("baseline")), cg.clone()))
+            .collect();
+        let program = self.program.clone();
+        let (artifacts, _) = self.codegen_batch(&program, plan)?;
+        let inputs: Vec<LinkInput> = artifacts
+            .iter()
+            .map(|a| LinkInput::new(a.object.clone(), a.debug_layout.clone()))
+            .collect();
+        let bin = Arc::new(link(
+            &inputs,
+            &LinkOptions {
+                output_name: "app.baseline".into(),
+                ..LinkOptions::default()
+            },
+        )?);
+        self.baseline_binary = Some(bin.clone());
+        Ok(bin)
+    }
+
+    /// Simulates baseline and optimized binaries under the same
+    /// workload and reports both counter sets.
+    ///
+    /// # Errors
+    ///
+    /// Fails if Phase 4 has not run, or image construction fails.
+    pub fn evaluate(&mut self, block_budget: u64) -> Result<EvalReport, PipelineError> {
+        let baseline = self.build_baseline()?;
+        let Some(po) = self.po_binary.clone() else {
+            return Err(PipelineError::PhaseOrder { needs: "phase 4" });
+        };
+        let workload = self.workload(block_budget);
+        let base_img = ProgramImage::build(&self.program, &baseline.layout)
+            .map_err(|e| PipelineError::Image(e.to_string()))?;
+        let opt_program = self.phase4_program.clone().expect("phase 4 ran");
+        let opt_img = ProgramImage::build(&opt_program, &po.layout)
+            .map_err(|e| PipelineError::Image(e.to_string()))?;
+        let base = simulate(&base_img, &workload, &self.opts.uarch, &SimOptions::default());
+        let opt = simulate(&opt_img, &workload, &self.opts.uarch, &SimOptions::default());
+        Ok(EvalReport {
+            baseline: base.counters,
+            optimized: opt.counters,
+        })
+    }
+}

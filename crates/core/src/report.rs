@@ -1,0 +1,88 @@
+//! Pipeline reports.
+
+use propeller_buildsys::{CacheStats, PhaseReport};
+use propeller_sim::CounterSet;
+
+/// Wall/CPU time and memory of the four phases (the Table 5 columns).
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct PhaseTimes {
+    /// Phase 1: compile + cache optimized IR.
+    pub phase1: PhaseReport,
+    /// Phase 2: metadata build (backends + link).
+    pub phase2: PhaseReport,
+    /// Phase 3: profile conversion + whole-program analysis.
+    pub phase3: PhaseReport,
+    /// Phase 4: hot codegen + relink.
+    pub phase4: PhaseReport,
+}
+
+impl PhaseTimes {
+    /// Total wall-clock seconds across phases.
+    pub fn total_wall_secs(&self) -> f64 {
+        self.phase1.wall_secs + self.phase2.wall_secs + self.phase3.wall_secs + self.phase4.wall_secs
+    }
+}
+
+/// The summary a [`crate::Propeller::run_all`] invocation returns.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PropellerReport {
+    /// Per-phase times and memory.
+    pub times: PhaseTimes,
+    /// Object-cache statistics across phases 2 and 4 (Phase 4's hit
+    /// rate is the "% Cold" effect: cold objects come from cache).
+    pub object_cache: CacheStats,
+    /// Fraction of modules re-code-generated in Phase 4.
+    pub hot_module_fraction: f64,
+    /// Hot functions found by WPA.
+    pub hot_functions: usize,
+    /// Relaxation statistics of the final relink.
+    pub deleted_jumps: u64,
+    /// Branches shrunk by the final relink.
+    pub shrunk_branches: u64,
+    /// Name of the optimized output.
+    pub optimized_binary_name: String,
+}
+
+/// Baseline-vs-optimized measurement from the simulator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct EvalReport {
+    /// Counters on the baseline (PGO+ThinLTO-equivalent) binary.
+    pub baseline: CounterSet,
+    /// Counters on the Propeller-optimized binary.
+    pub optimized: CounterSet,
+}
+
+impl EvalReport {
+    /// Percent speedup of optimized over baseline (Table 3 metric).
+    pub fn speedup_pct(&self) -> f64 {
+        self.optimized.speedup_pct_over(&self.baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let mut t = PhaseTimes::default();
+        t.phase1.wall_secs = 1.0;
+        t.phase3.wall_secs = 2.5;
+        assert!((t.total_wall_secs() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_speedup_delegates() {
+        let mut base = CounterSet::default();
+        base.insts = 100;
+        base.cycles = 200;
+        let mut opt = CounterSet::default();
+        opt.insts = 100;
+        opt.cycles = 100;
+        let e = EvalReport {
+            baseline: base,
+            optimized: opt,
+        };
+        assert!((e.speedup_pct() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,126 @@
+//! Whole-program call graph.
+
+use crate::ids::{BlockId, FunctionId};
+use crate::program::Program;
+use std::collections::HashMap;
+
+/// One call-graph edge: a specific call site plus its dynamic weight.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CallEdge {
+    /// Calling function.
+    pub caller: FunctionId,
+    /// Block containing the call.
+    pub site: BlockId,
+    /// Called function.
+    pub callee: FunctionId,
+    /// Weight: frequency of the calling block (each execution of the
+    /// block executes the call once).
+    pub weight: u64,
+}
+
+/// A weighted, call-site-granular call graph.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    edges: Vec<CallEdge>,
+    by_caller: HashMap<FunctionId, Vec<usize>>,
+    by_callee: HashMap<FunctionId, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph from every call site in the program, using
+    /// block frequencies as edge weights.
+    pub fn build(program: &Program) -> Self {
+        let mut g = CallGraph::default();
+        for f in program.functions() {
+            for b in &f.blocks {
+                for callee in b.callees() {
+                    let idx = g.edges.len();
+                    g.edges.push(CallEdge {
+                        caller: f.id,
+                        site: b.id,
+                        callee,
+                        weight: b.freq,
+                    });
+                    g.by_caller.entry(f.id).or_default().push(idx);
+                    g.by_callee.entry(callee).or_default().push(idx);
+                }
+            }
+        }
+        g
+    }
+
+    /// All edges, in discovery order.
+    pub fn edges(&self) -> &[CallEdge] {
+        &self.edges
+    }
+
+    /// Edges leaving `caller`.
+    pub fn callees_of(&self, caller: FunctionId) -> impl Iterator<Item = &CallEdge> {
+        self.by_caller
+            .get(&caller)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.edges[i])
+    }
+
+    /// Edges entering `callee`.
+    pub fn callers_of(&self, callee: FunctionId) -> impl Iterator<Item = &CallEdge> {
+        self.by_callee
+            .get(&callee)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.edges[i])
+    }
+
+    /// Total dynamic call weight into `callee`.
+    pub fn incoming_weight(&self, callee: FunctionId) -> u64 {
+        self.callers_of(callee).map(|e| e.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::inst::{Inst, Terminator};
+
+    fn program_with_calls() -> (Program, FunctionId, FunctionId, FunctionId) {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m.cc");
+        let mut leaf = FunctionBuilder::new("leaf");
+        leaf.add_block(vec![Inst::Alu], Terminator::Ret);
+        let leaf = pb.add_function(m, leaf);
+
+        let mut mid = FunctionBuilder::new("mid");
+        let b = mid.add_block(vec![Inst::Call(leaf), Inst::Call(leaf)], Terminator::Ret);
+        mid.set_block_freq(b, 10);
+        let mid = pb.add_function(m, mid);
+
+        let mut top = FunctionBuilder::new("top");
+        let b = top.add_block(vec![Inst::Call(mid)], Terminator::Ret);
+        top.set_block_freq(b, 3);
+        let top = pb.add_function(m, top);
+
+        (pb.finish().unwrap(), leaf, mid, top)
+    }
+
+    #[test]
+    fn edges_carry_block_frequency() {
+        let (p, leaf, mid, _top) = program_with_calls();
+        let g = CallGraph::build(&p);
+        assert_eq!(g.edges().len(), 3);
+        // Two call sites from mid to leaf, each weight 10.
+        assert_eq!(g.incoming_weight(leaf), 20);
+        assert_eq!(g.incoming_weight(mid), 3);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let (p, leaf, mid, top) = program_with_calls();
+        let g = CallGraph::build(&p);
+        assert_eq!(g.callees_of(mid).count(), 2);
+        assert_eq!(g.callers_of(leaf).count(), 2);
+        assert_eq!(g.callees_of(top).count(), 1);
+        assert_eq!(g.callers_of(top).count(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Block frequency propagation.
+
+use crate::function::Function;
+use crate::inst::Terminator;
+
+/// Number of damped iterations used to converge cyclic CFGs.
+const ITERATIONS: usize = 64;
+
+/// Propagates an entry frequency through a function's CFG, writing the
+/// resulting frequency into each block.
+///
+/// Frequencies follow branch probabilities: a block's frequency is the
+/// probability-weighted sum of its predecessors' frequencies, with the
+/// entry block additionally receiving `entry_freq`. Loops (back edges
+/// with probability `< 1`) converge geometrically; the iteration count is
+/// bounded, so pathological always-taken loops saturate rather than
+/// diverge.
+///
+/// This models the PGO frequency metadata that the compiler would have
+/// computed from an instrumented profile.
+pub fn propagate_frequencies(f: &mut Function, entry_freq: u64) {
+    let n = f.blocks.len();
+    let mut freq = vec![0.0f64; n];
+    // Precompute the successor lists once.
+    let succs: Vec<Vec<(usize, f64)>> = f
+        .blocks
+        .iter()
+        .map(|b| {
+            b.successors()
+                .into_iter()
+                .map(|(id, p)| (id.index(), p))
+                .collect()
+        })
+        .collect();
+    for _ in 0..ITERATIONS {
+        let mut next = vec![0.0f64; n];
+        next[0] = entry_freq as f64;
+        for (i, out) in succs.iter().enumerate() {
+            for &(j, p) in out {
+                next[j] += freq[i] * p;
+            }
+        }
+        // Converged?
+        let delta: f64 = next
+            .iter()
+            .zip(&freq)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        freq = next;
+        if delta < 0.5 {
+            break;
+        }
+    }
+    for (b, v) in f.blocks.iter_mut().zip(&freq) {
+        b.freq = v.round() as u64;
+    }
+    // Terminator sanity: a Ret block keeps whatever frequency flowed in.
+    debug_assert!(f
+        .blocks
+        .iter()
+        .all(|b| !matches!(b.term, Terminator::Ret) || b.freq <= u64::MAX));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BasicBlock;
+    use crate::ids::{BlockId, FunctionId, ModuleId};
+    use crate::inst::{Inst, Terminator};
+
+    fn function(blocks: Vec<BasicBlock>) -> Function {
+        Function {
+            id: FunctionId(0),
+            name: "f".into(),
+            module: ModuleId(0),
+            blocks,
+        }
+    }
+
+    #[test]
+    fn straight_line_keeps_entry_freq() {
+        let mut f = function(vec![
+            BasicBlock::new(BlockId(0), vec![Inst::Alu], Terminator::Jump(BlockId(1))),
+            BasicBlock::new(BlockId(1), vec![Inst::Alu], Terminator::Ret),
+        ]);
+        propagate_frequencies(&mut f, 100);
+        assert_eq!(f.blocks[0].freq, 100);
+        assert_eq!(f.blocks[1].freq, 100);
+    }
+
+    #[test]
+    fn diamond_splits_by_probability() {
+        let mut f = function(vec![
+            BasicBlock::new(
+                BlockId(0),
+                Vec::new(),
+                Terminator::CondBr {
+                    taken: BlockId(1),
+                    fallthrough: BlockId(2),
+                    prob_taken: 0.25,
+                },
+            ),
+            BasicBlock::new(BlockId(1), Vec::new(), Terminator::Jump(BlockId(3))),
+            BasicBlock::new(BlockId(2), Vec::new(), Terminator::Jump(BlockId(3))),
+            BasicBlock::new(BlockId(3), Vec::new(), Terminator::Ret),
+        ]);
+        propagate_frequencies(&mut f, 1000);
+        assert_eq!(f.blocks[1].freq, 250);
+        assert_eq!(f.blocks[2].freq, 750);
+        assert_eq!(f.blocks[3].freq, 1000);
+    }
+
+    #[test]
+    fn loop_converges_geometrically() {
+        // bb0 -> bb1; bb1 -> bb1 (p=0.9) | bb2; expected bb1 freq = 10x entry.
+        let mut f = function(vec![
+            BasicBlock::new(BlockId(0), Vec::new(), Terminator::Jump(BlockId(1))),
+            BasicBlock::new(
+                BlockId(1),
+                Vec::new(),
+                Terminator::CondBr {
+                    taken: BlockId(1),
+                    fallthrough: BlockId(2),
+                    prob_taken: 0.9,
+                },
+            ),
+            BasicBlock::new(BlockId(2), Vec::new(), Terminator::Ret),
+        ]);
+        propagate_frequencies(&mut f, 100);
+        let loop_freq = f.blocks[1].freq as f64;
+        assert!((900.0..=1000.0).contains(&loop_freq), "freq={loop_freq}");
+        assert!((95..=100).contains(&f.blocks[2].freq));
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_cold() {
+        let mut f = function(vec![
+            BasicBlock::new(BlockId(0), Vec::new(), Terminator::Ret),
+            BasicBlock::new(BlockId(1), Vec::new(), Terminator::Ret),
+        ]);
+        propagate_frequencies(&mut f, 50);
+        assert_eq!(f.blocks[0].freq, 50);
+        assert_eq!(f.blocks[1].freq, 0);
+    }
+}

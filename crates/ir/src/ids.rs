@@ -1,0 +1,89 @@
+//! Strongly-typed identifiers for IR entities.
+
+use std::fmt;
+
+/// Identifies a [`crate::Module`] (translation unit) within a program.
+///
+/// Module ids are dense: the `n`-th module added to a
+/// [`crate::ProgramBuilder`] receives `ModuleId(n)`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ModuleId(pub u32);
+
+/// Identifies a [`crate::Function`], uniquely across the whole program.
+///
+/// Function ids are dense in creation order, independent of which module
+/// owns the function.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FunctionId(pub u32);
+
+/// Identifies a [`crate::BasicBlock`] *within one function*.
+///
+/// Block ids are local: `BlockId(i)` is the block at index `i` of the
+/// owning function's block list, mirroring how the real Propeller's basic
+/// block address map identifies machine basic blocks by intra-function id.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(pub u32);
+
+impl ModuleId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FunctionId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ModuleId(3).to_string(), "m3");
+        assert_eq!(FunctionId(12).to_string(), "f12");
+        assert_eq!(BlockId(0).to_string(), "bb0");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(FunctionId(1) < FunctionId(2));
+        assert!(BlockId(0) < BlockId(10));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(ModuleId(7).index(), 7);
+        assert_eq!(FunctionId(9).index(), 9);
+        assert_eq!(BlockId(4).index(), 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! Whole programs.
+
+use crate::error::IrError;
+use crate::function::Function;
+use crate::ids::{FunctionId, ModuleId};
+use crate::module::Module;
+use crate::stats::ProgramStats;
+use std::collections::HashMap;
+
+/// A whole program: a set of modules plus a function index.
+///
+/// Construct via [`crate::ProgramBuilder`], which guarantees the index is
+/// consistent and all invariants hold.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub(crate) modules: Vec<Module>,
+    /// `FunctionId -> (module index, function index within module)`.
+    pub(crate) index: HashMap<FunctionId, (usize, usize)>,
+}
+
+impl Program {
+    /// All modules, in id order.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Mutable access to modules. Intended for generators and
+    /// transforms that adjust metadata (e.g. frequencies) in place;
+    /// structural edits must keep ids dense or lookups will break.
+    pub fn modules_mut(&mut self) -> &mut [Module] {
+        &mut self.modules
+    }
+
+    /// Looks up a module by id.
+    pub fn module(&self, id: ModuleId) -> Option<&Module> {
+        self.modules.get(id.index())
+    }
+
+    /// Looks up a function by id.
+    pub fn function(&self, id: FunctionId) -> Option<&Function> {
+        self.index
+            .get(&id)
+            .map(|&(m, f)| &self.modules[m].functions[f])
+    }
+
+    /// Iterates over every function in module order.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.modules.iter().flat_map(|m| m.functions.iter())
+    }
+
+    /// Total number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total number of modules.
+    pub fn num_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Computes aggregate characteristics (the Table 2 columns).
+    pub fn stats(&self) -> ProgramStats {
+        ProgramStats::compute(self)
+    }
+
+    /// Validates every function plus cross-function invariants
+    /// (callee existence, name uniqueness).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IrError`] encountered.
+    pub fn validate(&self) -> Result<(), IrError> {
+        let mut names = HashMap::new();
+        for f in self.functions() {
+            f.validate()?;
+            if let Some(_prev) = names.insert(f.name.clone(), f.id) {
+                return Err(IrError::DuplicateName(f.name.clone()));
+            }
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    if let Some(target) = inst.referenced_function() {
+                        if !self.index.contains_key(&target) {
+                            return Err(IrError::UnknownCallee {
+                                function: f.id,
+                                callee: target,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::inst::{Inst, Terminator};
+
+    fn two_module_program() -> crate::Program {
+        let mut pb = ProgramBuilder::new();
+        let m0 = pb.add_module("a.cc");
+        let m1 = pb.add_module("b.cc");
+        let mut f = FunctionBuilder::new("alpha");
+        f.add_block(vec![Inst::Alu], Terminator::Ret);
+        let alpha = pb.add_function(m0, f);
+        let mut g = FunctionBuilder::new("beta");
+        g.add_block(vec![Inst::Call(alpha)], Terminator::Ret);
+        pb.add_function(m1, g);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn function_lookup_crosses_modules() {
+        let p = two_module_program();
+        assert_eq!(p.num_modules(), 2);
+        assert_eq!(p.num_functions(), 2);
+        let beta = p.functions().find(|f| f.name == "beta").unwrap();
+        assert_eq!(p.function(beta.id).unwrap().name, "beta");
+    }
+
+    #[test]
+    fn validate_accepts_cross_module_calls() {
+        two_module_program().validate().unwrap();
+    }
+
+    #[test]
+    fn stats_match_structure() {
+        let p = two_module_program();
+        let s = p.stats();
+        assert_eq!(s.num_functions, 2);
+        assert_eq!(s.num_blocks, 2);
+        assert_eq!(s.num_modules, 2);
+    }
+}

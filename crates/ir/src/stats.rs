@@ -1,0 +1,105 @@
+//! Aggregate program characteristics (the Table 2 columns).
+
+use crate::program::Program;
+use std::fmt;
+
+/// Aggregate characteristics of a program, mirroring the columns of the
+/// paper's Table 2 (text size is computed post-codegen by the object
+/// layer; here we report instruction counts as the size proxy).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProgramStats {
+    /// Number of modules (translation units).
+    pub num_modules: usize,
+    /// Number of functions.
+    pub num_functions: usize,
+    /// Number of basic blocks.
+    pub num_blocks: usize,
+    /// Number of instructions (including terminators).
+    pub num_insts: usize,
+    /// Number of modules in which every function is cold.
+    pub num_cold_modules: usize,
+    /// Number of functions with no nonzero-frequency block.
+    pub num_cold_functions: usize,
+}
+
+impl ProgramStats {
+    /// Computes statistics for `program`.
+    pub fn compute(program: &Program) -> Self {
+        let mut s = ProgramStats {
+            num_modules: program.num_modules(),
+            ..Default::default()
+        };
+        for m in program.modules() {
+            if m.is_cold() {
+                s.num_cold_modules += 1;
+            }
+            for f in &m.functions {
+                s.num_functions += 1;
+                s.num_blocks += f.num_blocks();
+                s.num_insts += f.num_insts();
+                if f.is_cold() {
+                    s.num_cold_functions += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Fraction of modules that are entirely cold, in `[0, 1]`.
+    pub fn cold_module_fraction(&self) -> f64 {
+        if self.num_modules == 0 {
+            0.0
+        } else {
+            self.num_cold_modules as f64 / self.num_modules as f64
+        }
+    }
+}
+
+impl fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} modules ({} cold), {} funcs ({} cold), {} blocks, {} insts",
+            self.num_modules,
+            self.num_cold_modules,
+            self.num_functions,
+            self.num_cold_functions,
+            self.num_blocks,
+            self.num_insts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::inst::{Inst, Terminator};
+
+    #[test]
+    fn counts_cold_entities() {
+        let mut pb = ProgramBuilder::new();
+        let m0 = pb.add_module("hot.cc");
+        let m1 = pb.add_module("cold.cc");
+        let mut hot = FunctionBuilder::new("hot");
+        let b = hot.add_block(vec![Inst::Alu, Inst::Alu], Terminator::Ret);
+        hot.set_block_freq(b, 9);
+        pb.add_function(m0, hot);
+        let mut cold = FunctionBuilder::new("cold");
+        cold.add_block(vec![Inst::Alu], Terminator::Ret);
+        pb.add_function(m1, cold);
+        let s = pb.finish().unwrap().stats();
+        assert_eq!(s.num_modules, 2);
+        assert_eq!(s.num_cold_modules, 1);
+        assert_eq!(s.num_cold_functions, 1);
+        assert_eq!(s.num_insts, 3 + 2);
+        assert!((s.cold_module_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_program_fraction_is_zero() {
+        let s = ProgramStats::default();
+        assert_eq!(s.cold_module_fraction(), 0.0);
+        assert!(!s.to_string().is_empty());
+    }
+}

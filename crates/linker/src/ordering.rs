@@ -1,0 +1,110 @@
+//! Symbol ordering files.
+
+use std::collections::HashMap;
+
+/// The global layout directive: an ordered list of text-section symbols
+/// (the `ld_prof.txt` of Figure 1).
+///
+/// Sections whose defining symbol appears in the list are placed first,
+/// in list order; all remaining text sections follow in input order.
+/// This mirrors `--symbol-ordering-file` in LLD.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SymbolOrdering {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl SymbolOrdering {
+    /// Builds an ordering from symbol names; later duplicates are
+    /// ignored, matching linker behavior.
+    pub fn new(names: impl IntoIterator<Item = String>) -> Self {
+        let mut ordering = SymbolOrdering::default();
+        for n in names {
+            ordering.push(n);
+        }
+        ordering
+    }
+
+    /// Appends one symbol (ignored if already present).
+    pub fn push(&mut self, name: String) {
+        if !self.index.contains_key(&name) {
+            self.index.insert(name.clone(), self.names.len());
+            self.names.push(name);
+        }
+    }
+
+    /// The rank of `name`, if listed.
+    pub fn rank(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Number of listed symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the ordering lists no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The ordered names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Serializes to the on-disk ordering-file format (one symbol per
+    /// line).
+    pub fn to_file_contents(&self) -> String {
+        let mut s = self.names.join("\n");
+        s.push('\n');
+        s
+    }
+
+    /// Parses the on-disk format.
+    pub fn from_file_contents(contents: &str) -> Self {
+        Self::new(
+            contents
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(String::from),
+        )
+    }
+}
+
+impl FromIterator<String> for SymbolOrdering {
+    fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
+        Self::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_follow_insertion() {
+        let o = SymbolOrdering::new(["b".into(), "a".into(), "b".into()]);
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.rank("b"), Some(0));
+        assert_eq!(o.rank("a"), Some(1));
+        assert_eq!(o.rank("zzz"), None);
+    }
+
+    #[test]
+    fn file_round_trip_skips_comments_and_blanks() {
+        let text = "# hot first\nmain\n\n  helper.cold  \n";
+        let o = SymbolOrdering::from_file_contents(text);
+        assert_eq!(o.names(), &["main".to_string(), "helper.cold".to_string()]);
+        let round = SymbolOrdering::from_file_contents(&o.to_file_contents());
+        assert_eq!(round, o);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let o: SymbolOrdering = ["x".to_string(), "y".to_string()].into_iter().collect();
+        assert_eq!(o.len(), 2);
+        assert!(!o.is_empty());
+    }
+}

@@ -1,0 +1,463 @@
+//! Internal section state and the §4.2 relaxation pass.
+//!
+//! "After code layout has been performed, a bespoke linker relaxation
+//! pass removes fall-through branches. Additionally it shrinks branch
+//! instructions where the offset can be encoded in fewer bytes."
+//!
+//! Only sections emitted with basic block sections are `relaxable`:
+//! every control transfer in them carries a relocation, so the linker
+//! may move bytes freely while keeping the block map coherent.
+
+use crate::error::LinkError;
+use propeller_codegen::isa::{fits_short, op};
+use propeller_obj::{BlockSpan, Reloc, RelocKind, Section, SectionKind};
+use std::collections::HashMap;
+
+/// A branch site inside a relaxable section.
+#[derive(Clone, Debug)]
+pub(crate) struct Site {
+    /// Offset of the instruction start (original, pre-relaxation).
+    pub inst_start: u32,
+    /// Original encoded length (6 for cond, 5 for jmp).
+    pub orig_len: u32,
+    /// Conditional branch (`true`) or unconditional jump (`false`).
+    pub cond: bool,
+    /// Target symbol.
+    pub symbol: String,
+    /// Target addend (block offset within the target section).
+    pub addend: i64,
+    /// Current form decision.
+    pub state: SiteState,
+}
+
+/// The relaxation state of one branch site.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum SiteState {
+    /// Long form (as emitted).
+    Long,
+    /// Shrunk to the short form.
+    Short,
+    /// Deleted (redundant fall-through jump).
+    Deleted,
+}
+
+impl Site {
+    /// Current encoded length under `state`.
+    pub fn cur_len(&self) -> u32 {
+        match self.state {
+            SiteState::Long => self.orig_len,
+            SiteState::Short => 2,
+            SiteState::Deleted => 0,
+        }
+    }
+
+    /// Bytes saved relative to the original encoding.
+    pub fn savings(&self) -> u32 {
+        self.orig_len - self.cur_len()
+    }
+}
+
+/// A section being linked, with its relaxation state.
+#[derive(Clone, Debug)]
+pub(crate) struct Sec {
+    /// Index of the owning input object.
+    pub obj_idx: usize,
+    /// Section name.
+    pub name: String,
+    /// Content kind.
+    pub kind: SectionKind,
+    /// Original bytes.
+    pub bytes: Vec<u8>,
+    /// Original relocations.
+    pub relocs: Vec<Reloc>,
+    /// Original block spans.
+    pub block_map: Vec<BlockSpan>,
+    /// Whether relaxation may rewrite this section.
+    pub relaxable: bool,
+    /// Alignment.
+    pub align: u32,
+    /// Parsed branch sites (relaxable sections only), sorted by
+    /// `inst_start`.
+    pub sites: Vec<Site>,
+    /// Assigned virtual address.
+    pub addr: u64,
+}
+
+impl Sec {
+    /// Maps an original offset to its post-relaxation offset.
+    pub fn new_offset(&self, orig: u32) -> u32 {
+        let saved: u32 = self
+            .sites
+            .iter()
+            .take_while(|s| s.inst_start + s.orig_len <= orig)
+            .map(Site::savings)
+            .sum();
+        orig - saved
+    }
+
+    /// Final size after relaxation.
+    pub fn final_size(&self) -> u32 {
+        self.new_offset(self.bytes.len() as u32)
+    }
+
+    /// Whether `site_idx` is the final instruction of the section (the
+    /// only position where a fall-through jump can be deleted).
+    pub fn is_tail(&self, site_idx: usize) -> bool {
+        let s = &self.sites[site_idx];
+        !s.cond && s.inst_start + s.orig_len == self.bytes.len() as u32
+    }
+}
+
+/// Parses branch sites out of a relaxable section's relocations.
+///
+/// The instruction form is recovered from the bytes preceding the
+/// relocated field: a `JMP_LONG` opcode immediately precedes the field
+/// for jumps; a `BR_LONG` opcode two bytes before (with a zero condition
+/// byte between) identifies conditional branches.
+pub(crate) fn parse_sites(section: &Section) -> Result<Vec<Site>, LinkError> {
+    let mut sites = Vec::new();
+    for r in &section.relocs {
+        if r.kind != RelocKind::BranchPc32 {
+            continue;
+        }
+        let off = r.offset as usize;
+        let site = if off >= 1 && section.bytes[off - 1] == op::JMP_LONG {
+            Site {
+                inst_start: r.offset - 1,
+                orig_len: 5,
+                cond: false,
+                symbol: r.symbol.clone(),
+                addend: r.addend,
+                state: SiteState::Long,
+            }
+        } else if off >= 2 && section.bytes[off - 2] == op::BR_LONG {
+            Site {
+                inst_start: r.offset - 2,
+                orig_len: 6,
+                cond: true,
+                symbol: r.symbol.clone(),
+                addend: r.addend,
+                state: SiteState::Long,
+            }
+        } else {
+            return Err(LinkError::BadMetadata {
+                object: section.name.clone(),
+                detail: format!("branch relocation at {} has no branch opcode", r.offset),
+            });
+        };
+        sites.push(site);
+    }
+    sites.sort_by_key(|s| s.inst_start);
+    Ok(sites)
+}
+
+/// Assigns addresses to text sections in `text_order`, then to rodata.
+/// Returns one past the last text byte.
+pub(crate) fn assign_addresses(secs: &mut [Sec], text_order: &[usize], base: u64) -> u64 {
+    let mut cursor = base;
+    for &i in text_order {
+        let align = secs[i].align.max(1) as u64;
+        cursor = cursor.div_ceil(align) * align;
+        secs[i].addr = cursor;
+        cursor += secs[i].final_size() as u64;
+    }
+    let text_end = cursor;
+    for s in secs.iter_mut() {
+        if s.kind == SectionKind::RoData {
+            cursor = cursor.div_ceil(16) * 16;
+            s.addr = cursor;
+            cursor += s.bytes.len() as u64;
+        }
+    }
+    text_end
+}
+
+/// Resolves `symbol + addend` to a final virtual address.
+pub(crate) fn resolve(
+    secs: &[Sec],
+    symtab: &HashMap<String, (usize, u32)>,
+    symbol: &str,
+    addend: i64,
+    object: &str,
+) -> Result<u64, LinkError> {
+    let &(sec_idx, sym_off) = symtab.get(symbol).ok_or_else(|| LinkError::UndefinedSymbol {
+        symbol: symbol.to_string(),
+        object: object.to_string(),
+    })?;
+    let sec = &secs[sec_idx];
+    let orig = sym_off as i64 + addend;
+    debug_assert!(orig >= 0);
+    Ok(sec.addr + sec.new_offset(orig as u32) as u64)
+}
+
+/// Runs the relaxation fixpoint: fall-through jump deletion plus branch
+/// shrinking. Returns `(deleted, shrunk)` counts.
+///
+/// Decisions are recomputed from scratch each iteration against the
+/// previous iteration's addresses (Jacobi style) until stable, then
+/// verified; if the loop fails to stabilize or verify, the pass falls
+/// back to the always-correct all-long, no-deletion state.
+pub(crate) fn relax(
+    secs: &mut Vec<Sec>,
+    text_order: &[usize],
+    symtab: &HashMap<String, (usize, u32)>,
+    base: u64,
+) -> Result<(u64, u64), LinkError> {
+    const MAX_ITERS: usize = 64;
+    // Identify, per text-order position, which section follows.
+    let next_in_order: HashMap<usize, usize> = text_order
+        .windows(2)
+        .map(|w| (w[0], w[1]))
+        .collect();
+
+    let mut stable = false;
+    for _ in 0..MAX_ITERS {
+        assign_addresses(secs, text_order, base);
+        // Compute fresh decisions against current addresses.
+        let mut new_states: Vec<(usize, usize, SiteState)> = Vec::new();
+        for &si in text_order {
+            if !secs[si].relaxable {
+                continue;
+            }
+            for k in 0..secs[si].sites.len() {
+                let target = resolve(
+                    secs,
+                    symtab,
+                    &secs[si].sites[k].symbol,
+                    secs[si].sites[k].addend,
+                    &secs[si].name,
+                )?;
+                let sec = &secs[si];
+                let site = &sec.sites[k];
+                let state = if sec.is_tail(k)
+                    && tail_deletable(secs, symtab, si, k, next_in_order.get(&si).copied())
+                {
+                    SiteState::Deleted
+                } else {
+                    let site_addr = sec.addr + sec.new_offset(site.inst_start) as u64;
+                    let disp = target as i64 - (site_addr as i64 + 2);
+                    if fits_short(disp) {
+                        SiteState::Short
+                    } else {
+                        SiteState::Long
+                    }
+                };
+                if state != site.state {
+                    new_states.push((si, k, state));
+                }
+            }
+        }
+        if new_states.is_empty() {
+            stable = true;
+            break;
+        }
+        for (si, k, st) in new_states {
+            secs[si].sites[k].state = st;
+        }
+    }
+
+    if stable {
+        assign_addresses(secs, text_order, base);
+        if verify(secs, text_order, symtab, &next_in_order)? {
+            let mut deleted = 0;
+            let mut shrunk = 0;
+            for s in secs.iter() {
+                for site in &s.sites {
+                    match site.state {
+                        SiteState::Deleted => deleted += 1,
+                        SiteState::Short => shrunk += 1,
+                        SiteState::Long => {}
+                    }
+                }
+            }
+            return Ok((deleted, shrunk));
+        }
+    }
+    // Fallback: no relaxation (always correct).
+    for s in secs.iter_mut() {
+        for site in &mut s.sites {
+            site.state = SiteState::Long;
+        }
+    }
+    assign_addresses(secs, text_order, base);
+    Ok((0, 0))
+}
+
+/// A tail jump is deletable when control would reach its target by
+/// simply falling off the end of the section: the target must be the
+/// first byte of the section that immediately follows in the layout,
+/// and no alignment padding may separate the two.
+///
+/// The check is structural (next-section identity plus a zero-gap
+/// alignment condition) rather than comparing addresses, because the
+/// target's address itself shifts when the jump is deleted.
+fn tail_deletable(
+    secs: &[Sec],
+    symtab: &HashMap<String, (usize, u32)>,
+    sec_idx: usize,
+    site_idx: usize,
+    next_idx: Option<usize>,
+) -> bool {
+    let Some(ni) = next_idx else {
+        return false;
+    };
+    let sec = &secs[sec_idx];
+    let site = &sec.sites[site_idx];
+    let Some(&(tsec_idx, sym_off)) = symtab.get(&site.symbol) else {
+        return false;
+    };
+    if tsec_idx != ni {
+        return false;
+    }
+    let tsec = &secs[ni];
+    let orig_target = sym_off as i64 + site.addend;
+    if orig_target < 0 || tsec.new_offset(orig_target as u32) != 0 {
+        return false;
+    }
+    // End address of this section assuming the tail jump is deleted:
+    // every other site's current savings apply, plus this site's full
+    // length. The next section must start exactly there (no padding).
+    let saved: u32 = sec
+        .sites
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != site_idx)
+        .map(|(_, s)| s.savings())
+        .sum();
+    let end = sec.addr + (sec.bytes.len() as u32 - saved - site.orig_len) as u64;
+    end % tsec.align.max(1) as u64 == 0
+}
+
+/// Checks every decision against final addresses.
+fn verify(
+    secs: &[Sec],
+    text_order: &[usize],
+    symtab: &HashMap<String, (usize, u32)>,
+    next_in_order: &HashMap<usize, usize>,
+) -> Result<bool, LinkError> {
+    for &si in text_order {
+        let sec = &secs[si];
+        if !sec.relaxable {
+            continue;
+        }
+        for (k, site) in sec.sites.iter().enumerate() {
+            let target = resolve(secs, symtab, &site.symbol, site.addend, &sec.name)?;
+            match site.state {
+                SiteState::Deleted => {
+                    let ok = sec.is_tail(k)
+                        && tail_deletable(secs, symtab, si, k, next_in_order.get(&si).copied());
+                    if !ok {
+                        return Ok(false);
+                    }
+                }
+                SiteState::Short => {
+                    let site_addr = sec.addr + sec.new_offset(site.inst_start) as u64;
+                    let disp = target as i64 - (site_addr as i64 + 2);
+                    if !fits_short(disp) {
+                        return Ok(false);
+                    }
+                }
+                SiteState::Long => {}
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec_with_sites(size: u32, sites: Vec<Site>) -> Sec {
+        Sec {
+            obj_idx: 0,
+            name: ".text.t".into(),
+            kind: SectionKind::Text,
+            bytes: vec![0; size as usize],
+            relocs: Vec::new(),
+            block_map: Vec::new(),
+            relaxable: true,
+            align: 1,
+            sites,
+            addr: 0,
+        }
+    }
+
+    fn jmp_site(inst_start: u32, state: SiteState) -> Site {
+        Site {
+            inst_start,
+            orig_len: 5,
+            cond: false,
+            symbol: "x".into(),
+            addend: 0,
+            state,
+        }
+    }
+
+    #[test]
+    fn new_offset_accounts_for_savings() {
+        let mut s = sec_with_sites(20, vec![jmp_site(5, SiteState::Short)]);
+        // Site at [5,10) shrunk to 2 bytes: savings 3.
+        assert_eq!(s.new_offset(0), 0);
+        assert_eq!(s.new_offset(5), 5);
+        assert_eq!(s.new_offset(10), 7);
+        assert_eq!(s.new_offset(20), 17);
+        assert_eq!(s.final_size(), 17);
+        s.sites[0].state = SiteState::Deleted;
+        assert_eq!(s.final_size(), 15);
+        s.sites[0].state = SiteState::Long;
+        assert_eq!(s.final_size(), 20);
+    }
+
+    #[test]
+    fn tail_detection() {
+        let s = sec_with_sites(20, vec![jmp_site(15, SiteState::Long)]);
+        assert!(s.is_tail(0));
+        let s = sec_with_sites(20, vec![jmp_site(5, SiteState::Long)]);
+        assert!(!s.is_tail(0));
+    }
+
+    #[test]
+    fn parse_sites_recovers_forms() {
+        let mut bytes = vec![op::ALU, 0, 0];
+        bytes.extend_from_slice(&[op::BR_LONG, 0, 0, 0, 0, 0]); // cond at 3
+        bytes.extend_from_slice(&[op::JMP_LONG, 0, 0, 0, 0]); // jmp at 9
+        let mut sec = Section::new(".text.x", SectionKind::Text, bytes);
+        sec.relocs.push(Reloc::new(5, RelocKind::BranchPc32, "a", 0));
+        sec.relocs.push(Reloc::new(10, RelocKind::BranchPc32, "b", 4));
+        sec.relocs.push(Reloc::new(4, RelocKind::CallPc32, "c", 0)); // ignored
+        let sites = parse_sites(&sec).unwrap();
+        assert_eq!(sites.len(), 2);
+        assert!(sites[0].cond);
+        assert_eq!(sites[0].inst_start, 3);
+        assert!(!sites[1].cond);
+        assert_eq!(sites[1].inst_start, 9);
+        assert_eq!(sites[1].addend, 4);
+    }
+
+    #[test]
+    fn parse_sites_rejects_garbage() {
+        let mut sec = Section::new(".text.x", SectionKind::Text, vec![0u8; 8]);
+        sec.relocs.push(Reloc::new(4, RelocKind::BranchPc32, "a", 0));
+        assert!(matches!(
+            parse_sites(&sec),
+            Err(LinkError::BadMetadata { .. })
+        ));
+    }
+
+    #[test]
+    fn assign_addresses_respects_alignment() {
+        let mut secs = vec![
+            sec_with_sites(10, Vec::new()),
+            {
+                let mut s = sec_with_sites(5, Vec::new());
+                s.align = 16;
+                s
+            },
+        ];
+        let end = assign_addresses(&mut secs, &[0, 1], 0x1000);
+        assert_eq!(secs[0].addr, 0x1000);
+        assert_eq!(secs[1].addr, 0x1010);
+        assert_eq!(end, 0x1015);
+    }
+}

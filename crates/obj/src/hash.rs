@@ -1,0 +1,95 @@
+//! Content hashing for the build system's content-addressed cache.
+
+use std::fmt;
+
+/// A 64-bit FNV-1a content hash.
+///
+/// The distributed build system caches artifacts by the hash of their
+/// contents (and actions by the hash of their inputs); 64 bits of FNV is
+/// plenty for a simulation and keeps the implementation dependency-free.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ContentHash(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl ContentHash {
+    /// Hashes a byte slice.
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        let mut h = FNV_OFFSET;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        ContentHash(h)
+    }
+
+    /// Combines this hash with another, order-sensitively.
+    pub fn combine(self, other: ContentHash) -> Self {
+        let mut h = self.0;
+        for b in other.0.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        ContentHash(h)
+    }
+
+    /// Hashes an iterator of byte slices as if concatenated.
+    pub fn of_parts<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> Self {
+        let mut h = FNV_OFFSET;
+        for part in parts {
+            for &b in part {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        ContentHash(h)
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_content_sensitive() {
+        let a = ContentHash::of_bytes(b"hello");
+        let b = ContentHash::of_bytes(b"hello");
+        let c = ContentHash::of_bytes(b"hellp");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parts_equal_concatenation() {
+        let whole = ContentHash::of_bytes(b"abcdef");
+        let parts = ContentHash::of_parts([b"abc".as_slice(), b"def".as_slice()]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = ContentHash::of_bytes(b"a");
+        let b = ContentHash::of_bytes(b"b");
+        assert_ne!(a.combine(b), b.combine(a));
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        let s = ContentHash::of_bytes(b"x").to_string();
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,96 @@
+//! Profile aggregation.
+
+use crate::lbr::HardwareProfile;
+use std::collections::HashMap;
+
+/// Branch and fall-through counts aggregated from raw LBR samples.
+///
+/// Consecutive records in one sample bound a straight-line execution
+/// range: after the older branch landed at `to`, execution fell through
+/// to the newer branch's `from`. Those `[to, from]` ranges are what
+/// gives basic blocks between taken branches their counts.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AggregatedProfile {
+    /// Taken-branch counts keyed by `(branch address, target address)`.
+    pub branches: HashMap<(u64, u64), u64>,
+    /// Fall-through range counts keyed by `(range start, range end)`,
+    /// where both ends are instruction addresses and the range executed
+    /// without a taken branch.
+    pub fallthroughs: HashMap<(u64, u64), u64>,
+}
+
+impl AggregatedProfile {
+    /// Aggregates a raw profile.
+    pub fn from_profile(profile: &HardwareProfile) -> Self {
+        let mut agg = AggregatedProfile::default();
+        for sample in &profile.samples {
+            for rec in &sample.records {
+                *agg.branches.entry((rec.from, rec.to)).or_insert(0) += 1;
+            }
+            for pair in sample.records.windows(2) {
+                let range = (pair[0].to, pair[1].from);
+                *agg.fallthroughs.entry(range).or_insert(0) += 1;
+            }
+        }
+        agg
+    }
+
+    /// Total taken-branch count.
+    pub fn total_branch_count(&self) -> u64 {
+        self.branches.values().sum()
+    }
+
+    /// Number of distinct branch edges observed.
+    pub fn num_edges(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// The modeled in-memory footprint of the aggregation structures
+    /// (two hash maps of 24-byte keys + 8-byte counts, with typical
+    /// hash-table slack).
+    pub fn modeled_memory_bytes(&self) -> u64 {
+        ((self.branches.len() + self.fallthroughs.len()) * 48) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lbr::{LbrRecord, LbrSample};
+
+    fn rec(from: u64, to: u64) -> LbrRecord {
+        LbrRecord { from, to }
+    }
+
+    #[test]
+    fn branches_counted_across_samples() {
+        let mut p = HardwareProfile::new("b");
+        p.samples
+            .push(LbrSample::new(vec![rec(100, 200), rec(220, 100)]));
+        p.samples.push(LbrSample::new(vec![rec(100, 200)]));
+        let agg = AggregatedProfile::from_profile(&p);
+        assert_eq!(agg.branches[&(100, 200)], 2);
+        assert_eq!(agg.branches[&(220, 100)], 1);
+        assert_eq!(agg.total_branch_count(), 3);
+        assert_eq!(agg.num_edges(), 2);
+    }
+
+    #[test]
+    fn fallthrough_ranges_from_consecutive_records() {
+        let mut p = HardwareProfile::new("b");
+        // After landing at 200, execution ran straight to the branch at
+        // 220.
+        p.samples
+            .push(LbrSample::new(vec![rec(100, 200), rec(220, 300)]));
+        let agg = AggregatedProfile::from_profile(&p);
+        assert_eq!(agg.fallthroughs[&(200, 220)], 1);
+        assert_eq!(agg.fallthroughs.len(), 1);
+    }
+
+    #[test]
+    fn empty_profile_aggregates_empty() {
+        let agg = AggregatedProfile::from_profile(&HardwareProfile::new("x"));
+        assert_eq!(agg.total_branch_count(), 0);
+        assert_eq!(agg.modeled_memory_bytes(), 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Hardware profiles: Last Branch Record samples and their aggregation.
+//!
+//! Models what `linux perf` delivers on Intel hardware (§3.3): each
+//! sample captures the LBR stack — the source and destination address
+//! pairs of the last 32 retired taken branches. Aggregation turns raw
+//! samples into branch counts and fall-through range counts, the only
+//! inputs the whole-program analyzer needs.
+//!
+//! Nothing in this crate knows about functions or basic blocks; that
+//! mapping is the job of the BB address map (`propeller-wpa`).
+
+mod agg;
+mod lbr;
+
+pub use agg::AggregatedProfile;
+pub use lbr::{HardwareProfile, LbrRecord, LbrSample, SamplingConfig, LBR_DEPTH};

@@ -1,0 +1,157 @@
+//! A generic set-associative LRU cache model (shared by the icache
+//! levels, TLBs, BTB and DSB proxy).
+
+/// Set-associative cache with true-LRU replacement.
+///
+/// Tags are full addresses shifted by the line granularity; capacity is
+/// `sets * assoc` lines.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    /// log2 of the line (or page) size in bytes.
+    line_shift: u32,
+    set_mask: u64,
+    assoc: usize,
+    /// `sets x assoc` tags; `u64::MAX` = invalid. LRU order is
+    /// maintained by keeping the most recent at index 0.
+    ways: Vec<u64>,
+    accesses: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds a cache of `sets` sets (power of two), `assoc` ways, and
+    /// `line_bytes` granularity (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or
+    /// `assoc` is zero.
+    pub fn new(sets: usize, assoc: usize, line_bytes: u64) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc > 0, "associativity must be positive");
+        SetAssocCache {
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            assoc,
+            ways: vec![u64::MAX; sets * assoc],
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Convenience: build from a total capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity / (line_bytes * assoc)` is a positive
+    /// power of two.
+    pub fn with_capacity(capacity: u64, assoc: usize, line_bytes: u64) -> Self {
+        let sets = (capacity / (line_bytes * assoc as u64)) as usize;
+        Self::new(sets, assoc, line_bytes)
+    }
+
+    /// Accesses `addr`; returns `true` on hit. Misses fill.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let tag = addr >> self.line_shift;
+        let set = (tag & self.set_mask) as usize;
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.assoc];
+        if let Some(pos) = ways.iter().position(|&w| w == tag) {
+            // Move to MRU.
+            ways[..=pos].rotate_right(1);
+            true
+        } else {
+            self.misses += 1;
+            ways.rotate_right(1);
+            ways[0] = tag;
+            false
+        }
+    }
+
+    /// The line/page granularity in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        1 << self.line_shift
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidates all contents and zeroes counters.
+    pub fn reset(&mut self) {
+        self.ways.fill(u64::MAX);
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_within_line() {
+        let mut c = SetAssocCache::new(4, 2, 64);
+        assert!(!c.access(0x100));
+        assert!(c.access(0x13F)); // same 64B line
+        assert!(!c.access(0x140)); // next line
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.accesses(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1 set, 2 ways.
+        let mut c = SetAssocCache::new(1, 2, 64);
+        c.access(0); // A
+        c.access(64); // B
+        c.access(0); // A -> MRU
+        assert!(!c.access(128)); // C evicts B
+        assert!(c.access(0)); // A survives
+        assert!(!c.access(64)); // B was evicted
+    }
+
+    #[test]
+    fn capacity_constructor() {
+        // 32 KiB, 8-way, 64 B lines => 64 sets.
+        let c = SetAssocCache::with_capacity(32 * 1024, 8, 64);
+        assert_eq!(c.line_bytes(), 64);
+        // Fill more than capacity and expect evictions.
+        let mut c = c;
+        for i in 0..1024u64 {
+            c.access(i * 64);
+        }
+        assert_eq!(c.misses(), 1024);
+        // Re-touch the last 512 lines (exactly capacity): all hits.
+        let before = c.misses();
+        for i in 512..1024u64 {
+            assert!(c.access(i * 64));
+        }
+        assert_eq!(c.misses(), before);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = SetAssocCache::new(2, 1, 64);
+        c.access(0);
+        c.reset();
+        assert_eq!(c.accesses(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn page_granularity_works_for_tlb() {
+        let mut tlb = SetAssocCache::new(16, 4, 4096);
+        assert!(!tlb.access(0x40_0000));
+        assert!(tlb.access(0x40_0FFF)); // same 4K page
+        assert!(!tlb.access(0x40_1000)); // next page
+    }
+}

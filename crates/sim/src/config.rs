@@ -1,0 +1,170 @@
+//! Simulation configuration.
+
+use propeller_ir::FunctionId;
+
+/// Geometry of one cache level.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Associativity.
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line: u64,
+}
+
+/// Instruction TLB geometry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TlbConfig {
+    /// First-level iTLB entries for 4 KiB pages.
+    pub l1_entries_4k: usize,
+    /// First-level iTLB entries for 2 MiB pages (Skylake has 8).
+    pub l1_entries_2m: usize,
+    /// Unified second-level TLB entries.
+    pub stlb_entries: usize,
+    /// Whether the text segment is backed by 2 MiB hugepages.
+    pub hugepages: bool,
+}
+
+/// Cycle penalties for the front-end model.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Penalties {
+    /// Base cycles per instruction (front-end throughput bound).
+    pub base_cpi: f64,
+    /// L1i miss that hits L2.
+    pub l1i_miss: f64,
+    /// L2 code miss that hits L3.
+    pub l2_miss: f64,
+    /// L3 code miss (memory fetch).
+    pub l3_miss: f64,
+    /// iTLB miss that hits the STLB.
+    pub itlb_miss: f64,
+    /// STLB miss (page walk).
+    pub stlb_walk: f64,
+    /// Front-end resteer on a BTB miss (`baclears.any`).
+    pub baclears: f64,
+    /// Fetch-redirect bubble charged to every taken branch.
+    pub taken_branch: f64,
+}
+
+/// The full microarchitecture configuration. Defaults model a
+/// Skylake-class server core.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct UarchConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L2 unified cache (code path only is modeled).
+    pub l2: CacheConfig,
+    /// L3 slice serving this core.
+    pub l3: CacheConfig,
+    /// Instruction TLBs.
+    pub itlb: TlbConfig,
+    /// Branch target buffer entries (modeled 8-way).
+    pub btb_entries: usize,
+    /// DSB (decoded uop cache) proxy capacity in 64-byte windows.
+    pub dsb_windows: usize,
+    /// Cycle penalties.
+    pub penalties: Penalties,
+}
+
+impl Default for UarchConfig {
+    fn default() -> Self {
+        UarchConfig {
+            l1i: CacheConfig {
+                capacity: 32 * 1024,
+                assoc: 8,
+                line: 64,
+            },
+            l2: CacheConfig {
+                capacity: 1024 * 1024,
+                assoc: 16,
+                line: 64,
+            },
+            l3: CacheConfig {
+                capacity: 8 * 1024 * 1024,
+                assoc: 16,
+                line: 64,
+            },
+            itlb: TlbConfig {
+                l1_entries_4k: 64,
+                l1_entries_2m: 8,
+                stlb_entries: 1536,
+                hugepages: false,
+            },
+            // Scaled with the evaluation programs (a full Skylake BTB
+            // holds ~4K branches; evaluation-scale programs have
+            // proportionally fewer hot branch sites, so an unscaled
+            // BTB would never show the resteer pressure of Figure 8).
+            btb_entries: 512,
+            dsb_windows: 512,
+            penalties: Penalties {
+                base_cpi: 0.30,
+                l1i_miss: 10.0,
+                l2_miss: 34.0,
+                l3_miss: 160.0,
+                itlb_miss: 9.0,
+                stlb_walk: 90.0,
+                baclears: 14.0,
+                taken_branch: 0.8,
+            },
+        }
+    }
+}
+
+impl UarchConfig {
+    /// Skylake defaults with 2 MiB hugepages for text (the Search
+    /// configuration in §5.5).
+    pub fn with_hugepages() -> Self {
+        let mut c = Self::default();
+        c.itlb.hugepages = true;
+        c
+    }
+}
+
+/// What to run: entry points, how much of it, and the seed.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Workload {
+    /// `(entry function, relative weight)` — one is drawn per request.
+    pub entries: Vec<(FunctionId, f64)>,
+    /// Stop after this many executed basic blocks.
+    pub block_budget: u64,
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Maximum simulated call depth (deeper calls are elided).
+    pub max_call_depth: usize,
+}
+
+impl Workload {
+    /// A workload with the given entries and budget, default seed and
+    /// call depth.
+    pub fn new(entries: Vec<(FunctionId, f64)>, block_budget: u64) -> Self {
+        Workload {
+            entries,
+            block_budget,
+            seed: 0x5eed,
+            max_call_depth: 128,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_skylake_shaped() {
+        let c = UarchConfig::default();
+        assert_eq!(c.l1i.capacity, 32 * 1024);
+        assert_eq!(c.itlb.l1_entries_4k, 64);
+        assert_eq!(c.itlb.l1_entries_2m, 8);
+        assert!(!c.itlb.hugepages);
+        assert!(UarchConfig::with_hugepages().itlb.hugepages);
+    }
+
+    #[test]
+    fn workload_constructor_defaults() {
+        let w = Workload::new(vec![(FunctionId(0), 1.0)], 1000);
+        assert_eq!(w.max_call_depth, 128);
+        assert_eq!(w.block_budget, 1000);
+    }
+}

@@ -1,0 +1,128 @@
+//! Performance counters and simulation reports.
+
+use crate::heatmap::HeatMap;
+use propeller_profile::HardwareProfile;
+
+/// The hardware events the simulator counts; each maps onto a Table 4
+/// event of the paper.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct CounterSet {
+    /// Instructions retired.
+    pub insts: u64,
+    /// Basic blocks executed.
+    pub blocks: u64,
+    /// Total cycles (from the front-end penalty model).
+    pub cycles: u64,
+    /// Taken branch instructions — `br_inst_retired.near_taken` (B2).
+    pub taken_branches: u64,
+    /// Not-taken (fall-through) control transfers.
+    pub fallthroughs: u64,
+    /// L1 i-cache misses — `frontend_retired.l1i_miss` (I1).
+    pub l1i_misses: u64,
+    /// L2 code read misses — `l2_rqsts.code_rd_miss` (I2).
+    pub l2_code_misses: u64,
+    /// Code misses served from memory — `offcore code rd` (I3).
+    pub l3_code_misses: u64,
+    /// First-level iTLB misses — `icache_64b.iftag_miss` (T1).
+    pub itlb_misses: u64,
+    /// STLB misses causing a page walk — `frontend_retired.itlb_miss`
+    /// (T2).
+    pub stlb_walks: u64,
+    /// Front-end resteers from BTB misses — `baclears.any` (B1).
+    pub baclears: u64,
+    /// DSB (uop cache) window misses.
+    pub dsb_misses: u64,
+    /// Software prefetch instructions executed.
+    pub prefetches: u64,
+}
+
+impl CounterSet {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Relative speedup of `self` over `baseline` in percent, measured
+    /// in cycles per instruction at equal work (the Table 3 metric:
+    /// positive means `self` is faster).
+    pub fn speedup_pct_over(&self, baseline: &CounterSet) -> f64 {
+        let own = self.cycles as f64 / self.insts.max(1) as f64;
+        let base = baseline.cycles as f64 / baseline.insts.max(1) as f64;
+        (base / own - 1.0) * 100.0
+    }
+
+    /// Percent change of `metric(self)` relative to `metric(baseline)`,
+    /// normalized per instruction (negative = reduction).
+    pub fn delta_pct(
+        &self,
+        baseline: &CounterSet,
+        metric: impl Fn(&CounterSet) -> u64,
+    ) -> f64 {
+        let own = metric(self) as f64 / self.insts.max(1) as f64;
+        let base = metric(baseline) as f64 / baseline.insts.max(1) as f64;
+        if base == 0.0 {
+            0.0
+        } else {
+            (own / base - 1.0) * 100.0
+        }
+    }
+}
+
+/// Everything one simulation run produces.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Event counts.
+    pub counters: CounterSet,
+    /// LBR profile, if sampling was enabled.
+    pub profile: Option<HardwareProfile>,
+    /// Instruction-access heat map, if requested.
+    pub heatmap: Option<HeatMap>,
+    /// Call-site code-miss counts keyed by `(call-site block address,
+    /// callee entry address)`, if requested (§3.5 prefetch analysis).
+    pub call_misses: Option<std::collections::HashMap<(u64, u64), u64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_math() {
+        let base = CounterSet {
+            insts: 1000,
+            cycles: 2000,
+            ..CounterSet::default()
+        };
+        let opt = CounterSet {
+            insts: 1000,
+            cycles: 1000,
+            ..CounterSet::default()
+        };
+        assert!((opt.speedup_pct_over(&base) - 100.0).abs() < 1e-9);
+        assert!((base.speedup_pct_over(&base)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_pct_normalizes_per_inst() {
+        let base = CounterSet {
+            insts: 1000,
+            l1i_misses: 100,
+            ..CounterSet::default()
+        };
+        let opt = CounterSet {
+            insts: 2000, // twice the work...
+            l1i_misses: 100, // ...same misses => 50% reduction per inst
+            ..CounterSet::default()
+        };
+        assert!((opt.delta_pct(&base, |c| c.l1i_misses) + 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipc_zero_when_no_cycles() {
+        assert_eq!(CounterSet::default().ipc(), 0.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! The trace-driven front-end simulator.
+
+use crate::cache::SetAssocCache;
+use crate::config::{UarchConfig, Workload};
+use crate::counters::{CounterSet, SimReport};
+use crate::heatmap::HeatMap;
+use crate::image::{ProgramImage, SimTerm};
+use crate::rng::SplitMix64;
+use propeller_profile::{HardwareProfile, LbrRecord, LbrSample, SamplingConfig, LBR_DEPTH};
+use std::collections::{HashMap, VecDeque};
+
+/// What to collect during simulation.
+#[derive(Clone, Debug, Default)]
+pub struct SimOptions {
+    /// Collect LBR samples at this configuration.
+    pub sampling: Option<SamplingConfig>,
+    /// Collect a heat map with `(address buckets, time buckets)`.
+    pub heatmap: Option<(usize, usize)>,
+    /// Collect the call-site code-miss profile: counts of L1i misses at
+    /// callee entry, keyed by `(call-site block address, callee entry
+    /// address)` — the input to §3.5's prefetch insertion.
+    pub collect_call_misses: bool,
+}
+
+/// Encoded call instruction length (return address displacement).
+const CALL_LEN: u64 = 5;
+
+struct Frontend {
+    l1i: SetAssocCache,
+    l2: SetAssocCache,
+    l3: SetAssocCache,
+    itlb: SetAssocCache,
+    stlb: SetAssocCache,
+    btb: SetAssocCache,
+    dsb: SetAssocCache,
+    cycles: f64,
+    counters: CounterSet,
+    cfg: UarchConfig,
+    heatmap: Option<HeatMap>,
+}
+
+impl Frontend {
+    fn new(cfg: &UarchConfig, image: &ProgramImage, opts: &SimOptions, budget: u64) -> Self {
+        let page = if cfg.itlb.hugepages { 2 << 20 } else { 4096 };
+        let l1_entries = if cfg.itlb.hugepages {
+            cfg.itlb.l1_entries_2m
+        } else {
+            cfg.itlb.l1_entries_4k
+        };
+        let heatmap = opts.heatmap.map(|(rows, cols)| {
+            HeatMap::new(
+                image.text_start,
+                image.text_end.max(image.text_start + 1),
+                rows,
+                cols,
+                budget * 2,
+            )
+        });
+        Frontend {
+            l1i: SetAssocCache::with_capacity(cfg.l1i.capacity, cfg.l1i.assoc, cfg.l1i.line),
+            l2: SetAssocCache::with_capacity(cfg.l2.capacity, cfg.l2.assoc, cfg.l2.line),
+            l3: SetAssocCache::with_capacity(cfg.l3.capacity, cfg.l3.assoc, cfg.l3.line),
+            itlb: SetAssocCache::new(next_pow2(l1_entries / 4), 4, page),
+            stlb: SetAssocCache::new(next_pow2(cfg.itlb.stlb_entries / 8), 8, page),
+            btb: SetAssocCache::new(next_pow2(cfg.btb_entries / 8), 8, 1),
+            dsb: SetAssocCache::new(next_pow2(cfg.dsb_windows / 8), 8, 64),
+            cycles: 0.0,
+            counters: CounterSet::default(),
+            cfg: *cfg,
+            heatmap,
+        }
+    }
+
+    /// Fetches the byte range `[addr, addr + len)`; returns whether any
+    /// line missed L1i.
+    fn fetch(&mut self, addr: u64, len: u32) -> bool {
+        let mut missed = false;
+        let line = self.cfg.l1i.line;
+        let mut a = addr & !(line - 1);
+        let end = addr + len.max(1) as u64;
+        while a < end {
+            if !self.itlb.access(a) {
+                self.counters.itlb_misses += 1;
+                if !self.stlb.access(a) {
+                    self.counters.stlb_walks += 1;
+                    self.cycles += self.cfg.penalties.stlb_walk;
+                } else {
+                    self.cycles += self.cfg.penalties.itlb_miss;
+                }
+            }
+            if !self.l1i.access(a) {
+                missed = true;
+                self.counters.l1i_misses += 1;
+                if !self.l2.access(a) {
+                    self.counters.l2_code_misses += 1;
+                    if !self.l3.access(a) {
+                        self.counters.l3_code_misses += 1;
+                        self.cycles += self.cfg.penalties.l3_miss;
+                    } else {
+                        self.cycles += self.cfg.penalties.l2_miss;
+                    }
+                } else {
+                    self.cycles += self.cfg.penalties.l1i_miss;
+                }
+            }
+            if !self.dsb.access(a) {
+                self.counters.dsb_misses += 1;
+            }
+            if let Some(h) = &mut self.heatmap {
+                h.record(a);
+            }
+            a += line;
+        }
+        missed
+    }
+
+    /// Issues a software prefetch of `addr`: warms the i-caches and the
+    /// TLBs without stall penalties or demand-miss counter charges.
+    fn prefetch(&mut self, addr: u64) {
+        self.counters.prefetches += 1;
+        if !self.itlb.access(addr) {
+            self.stlb.access(addr);
+        }
+        if !self.l1i.access(addr) {
+            if !self.l2.access(addr) {
+                self.l3.access(addr);
+            }
+        }
+    }
+
+    /// Retires `n` instructions.
+    fn retire(&mut self, n: u32) {
+        self.counters.insts += n as u64;
+        self.cycles += n as f64 * self.cfg.penalties.base_cpi;
+    }
+
+    /// A taken control transfer from `from`; `predictable_by_btb` is
+    /// false for returns (served by the RSB).
+    fn taken(&mut self, from: u64, predictable_by_btb: bool) {
+        self.counters.taken_branches += 1;
+        self.cycles += self.cfg.penalties.taken_branch;
+        if predictable_by_btb && !self.btb.access(from) {
+            self.counters.baclears += 1;
+            self.cycles += self.cfg.penalties.baclears;
+        }
+    }
+}
+
+fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+struct Sampler {
+    ring: VecDeque<LbrRecord>,
+    period: u64,
+    until_next: u64,
+    profile: HardwareProfile,
+}
+
+impl Sampler {
+    fn new(cfg: &SamplingConfig, binary: &str) -> Self {
+        Sampler {
+            ring: VecDeque::with_capacity(LBR_DEPTH),
+            period: cfg.period.max(1),
+            until_next: cfg.period.max(1),
+            profile: HardwareProfile::new(binary),
+        }
+    }
+
+    fn record(&mut self, from: u64, to: u64) {
+        if self.ring.len() == LBR_DEPTH {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(LbrRecord { from, to });
+        self.until_next -= 1;
+        if self.until_next == 0 {
+            self.until_next = self.period;
+            self.profile
+                .samples
+                .push(LbrSample::new(self.ring.iter().copied().collect()));
+        }
+    }
+}
+
+struct Frame {
+    f: usize,
+    b: usize,
+    call_idx: usize,
+    entered: bool,
+}
+
+/// Runs the workload over the image and reports counters, an optional
+/// LBR profile, and an optional heat map.
+///
+/// # Panics
+///
+/// Panics if the workload names an entry function absent from the
+/// image, or has no entries with positive weight while the budget is
+/// nonzero.
+pub fn simulate(
+    image: &ProgramImage,
+    workload: &Workload,
+    uarch: &UarchConfig,
+    opts: &SimOptions,
+) -> SimReport {
+    let mut fe = Frontend::new(uarch, image, opts, workload.block_budget);
+    let mut rng = SplitMix64::new(workload.seed);
+    let mut sampler = opts
+        .sampling
+        .as_ref()
+        .map(|cfg| Sampler::new(cfg, "simulated-binary"));
+
+    let entries: Vec<(usize, f64)> = workload
+        .entries
+        .iter()
+        .map(|(fid, w)| {
+            (
+                *image
+                    .fn_index
+                    .get(fid)
+                    .unwrap_or_else(|| panic!("entry {fid} not in image")),
+                *w,
+            )
+        })
+        .collect();
+    let total_weight: f64 = entries.iter().map(|(_, w)| w).sum();
+    assert!(
+        workload.block_budget == 0 || total_weight > 0.0,
+        "workload needs weighted entries"
+    );
+
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut executed_blocks = 0u64;
+    let mut call_misses: HashMap<(u64, u64), u64> = HashMap::new();
+
+    while executed_blocks < workload.block_budget {
+        if stack.is_empty() {
+            // Dispatch a new request.
+            let mut draw = rng.next_f64() * total_weight;
+            let mut chosen = entries[0].0;
+            for &(f, w) in &entries {
+                if draw < w {
+                    chosen = f;
+                    break;
+                }
+                draw -= w;
+            }
+            stack.push(Frame {
+                f: chosen,
+                b: 0,
+                call_idx: 0,
+                entered: false,
+            });
+        }
+        let top = stack.last_mut().expect("nonempty");
+        let block = &image.functions[top.f].blocks[top.b];
+        if !top.entered {
+            top.entered = true;
+            executed_blocks += 1;
+            fe.counters.blocks += 1;
+            fe.fetch(block.addr, block.size);
+            fe.retire(block.straight_insts);
+            for &target in &block.prefetches {
+                fe.prefetch(image.functions[target as usize].blocks[0].addr);
+            }
+        }
+        if top.call_idx < block.calls.len() {
+            let (off, callee) = block.calls[top.call_idx];
+            top.call_idx += 1;
+            if stack.len() < workload.max_call_depth {
+                let from = block.addr + off as u64;
+                let to = image.functions[callee as usize].blocks[0].addr;
+                fe.taken(from, true);
+                // Fetch the callee's entry line at transfer time; a miss
+                // here is exactly what a software prefetch earlier in
+                // the caller would have hidden.
+                let missed = fe.fetch(to, 1);
+                if missed && opts.collect_call_misses {
+                    *call_misses.entry((block.addr, to)).or_insert(0) += 1;
+                }
+                if let Some(s) = &mut sampler {
+                    s.record(from, to);
+                }
+                stack.push(Frame {
+                    f: callee as usize,
+                    b: 0,
+                    call_idx: 0,
+                    entered: false,
+                });
+            }
+            continue;
+        }
+        // Terminator.
+        let end = block.addr + block.size as u64;
+        let from = end.saturating_sub(1);
+        match block.term {
+            SimTerm::Ret => {
+                fe.retire(block.branch_insts);
+                stack.pop();
+                if let Some(caller) = stack.last() {
+                    let cblock = &image.functions[caller.f].blocks[caller.b];
+                    let (call_off, _) = cblock.calls[caller.call_idx - 1];
+                    let to = cblock.addr + call_off as u64 + CALL_LEN;
+                    fe.taken(from, false);
+                    if let Some(s) = &mut sampler {
+                        s.record(from, to);
+                    }
+                }
+            }
+            SimTerm::Jump(t) => {
+                fe.retire(block.branch_insts);
+                let target = &image.functions[top.f].blocks[t as usize];
+                if block.branch_insts == 0 {
+                    debug_assert_eq!(target.addr, end, "deleted jump implies adjacency");
+                    fe.counters.fallthroughs += 1;
+                } else {
+                    fe.taken(from, true);
+                    if let Some(s) = &mut sampler {
+                        s.record(from, target.addr);
+                    }
+                }
+                top.b = t as usize;
+                top.call_idx = 0;
+                top.entered = false;
+            }
+            SimTerm::Cond { taken, ft, p } => {
+                let choose_taken = rng.chance(p);
+                let t = if choose_taken { taken } else { ft };
+                let target_addr = image.functions[top.f].blocks[t as usize].addr;
+                let contiguous = target_addr == end;
+                // Executed branch instructions: the first Jcc always;
+                // the trailing JMP only on the (non-contiguous)
+                // fall-through path of a two-branch block.
+                let executed = if block.branch_insts == 2 && !choose_taken {
+                    2
+                } else {
+                    block.branch_insts.min(1)
+                };
+                fe.retire(executed);
+                if contiguous {
+                    fe.counters.fallthroughs += 1;
+                } else {
+                    fe.taken(from, true);
+                    if let Some(s) = &mut sampler {
+                        s.record(from, target_addr);
+                    }
+                }
+                top.b = t as usize;
+                top.call_idx = 0;
+                top.entered = false;
+            }
+        }
+    }
+
+    fe.counters.cycles = fe.cycles.round() as u64;
+    SimReport {
+        counters: fe.counters,
+        profile: sampler.map(|s| s.profile),
+        heatmap: fe.heatmap,
+        call_misses: opts.collect_call_misses.then_some(call_misses),
+    }
+}

@@ -1,0 +1,272 @@
+//! The simulator's executable view: CFG structure married to final
+//! addresses.
+
+use propeller_ir::{Inst, Program, Terminator};
+use propeller_linker::FinalLayout;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A terminator in simulator form (successors as dense block indices).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum SimTerm {
+    /// Unconditional jump.
+    Jump(u32),
+    /// Conditional branch.
+    Cond {
+        /// Index of the taken-successor block.
+        taken: u32,
+        /// Index of the fall-through-successor block.
+        ft: u32,
+        /// Probability of choosing `taken`.
+        p: f64,
+    },
+    /// Return.
+    Ret,
+}
+
+/// One executable basic block.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimBlock {
+    /// Dense indices of functions this block software-prefetches.
+    pub prefetches: Vec<u32>,
+    /// Final virtual address.
+    pub addr: u64,
+    /// Final size in bytes (post-relaxation).
+    pub size: u32,
+    /// Number of non-control instructions.
+    pub straight_insts: u32,
+    /// Number of branch instructions encoded at the block end (0-2),
+    /// derived from the final size; relaxation-aware.
+    pub branch_insts: u32,
+    /// Call sites: `(byte offset of the call, dense callee index)`.
+    pub calls: Vec<(u32, u32)>,
+    /// The terminator.
+    pub term: SimTerm,
+}
+
+/// One executable function.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimFunction {
+    /// Symbol name (diagnostics).
+    pub name: String,
+    /// Blocks indexed densely; block 0 is the entry.
+    pub blocks: Vec<SimBlock>,
+}
+
+/// The whole executable, ready to simulate.
+#[derive(Clone, Debug)]
+pub struct ProgramImage {
+    /// Functions, densely indexed.
+    pub functions: Vec<SimFunction>,
+    /// Maps IR function ids to dense indices.
+    pub fn_index: HashMap<propeller_ir::FunctionId, usize>,
+    /// Lowest text address.
+    pub text_start: u64,
+    /// One past the highest text address.
+    pub text_end: u64,
+}
+
+/// An inconsistency between the program and the linked layout.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ImageError {
+    /// A function in the program has no layout (its object was linked
+    /// without debug info).
+    MissingFunction(String),
+    /// A block is missing from its function's layout.
+    MissingBlock {
+        /// Function name.
+        function: String,
+        /// Block index.
+        block: u32,
+    },
+    /// The derived branch byte count is not a valid encoding
+    /// combination (corrupt layout).
+    BadBranchBytes {
+        /// Function name.
+        function: String,
+        /// Block index.
+        block: u32,
+        /// The leftover byte count.
+        bytes: i64,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::MissingFunction(n) => write!(f, "no layout for function {n}"),
+            ImageError::MissingBlock { function, block } => {
+                write!(f, "no layout for block bb{block} of {function}")
+            }
+            ImageError::BadBranchBytes {
+                function,
+                block,
+                bytes,
+            } => write!(
+                f,
+                "block bb{block} of {function} has {bytes} leftover branch bytes"
+            ),
+        }
+    }
+}
+
+impl Error for ImageError {}
+
+/// Encoded size of a straight-line instruction.
+fn inst_bytes(i: &Inst) -> u32 {
+    match i {
+        Inst::Alu => 3,
+        Inst::Load | Inst::Store => 4,
+        Inst::Call(_) | Inst::Prefetch(_) => 5,
+        Inst::Nop => 1,
+    }
+}
+
+/// How many branch instructions a trailing byte count represents.
+/// Valid values: 0; one of {2,5,6} for a single branch; one of
+/// {4,7,8,11} for a conditional + jump pair.
+fn branch_count(bytes: i64) -> Option<u32> {
+    match bytes {
+        0 => Some(0),
+        2 | 5 | 6 => Some(1),
+        4 | 7 | 8 | 11 => Some(2),
+        _ => None,
+    }
+}
+
+impl ProgramImage {
+    /// Builds the image from a program and the linker's final layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] if any function or block lacks layout
+    /// information, or sizes are inconsistent with the ISA.
+    pub fn build(program: &Program, layout: &FinalLayout) -> Result<Self, ImageError> {
+        let mut placed: HashMap<propeller_ir::FunctionId, HashMap<u32, (u64, u32)>> =
+            HashMap::new();
+        for fl in &layout.functions {
+            let entry = placed.entry(fl.function).or_default();
+            for b in &fl.blocks {
+                entry.insert(b.block.0, (b.addr, b.size));
+            }
+        }
+
+        let mut fn_index = HashMap::new();
+        for (i, f) in program.functions().enumerate() {
+            fn_index.insert(f.id, i);
+        }
+
+        let mut functions = Vec::with_capacity(fn_index.len());
+        let mut text_start = u64::MAX;
+        let mut text_end = 0u64;
+        for f in program.functions() {
+            let blocks_placed = placed
+                .get(&f.id)
+                .ok_or_else(|| ImageError::MissingFunction(f.name.clone()))?;
+            let mut blocks = Vec::with_capacity(f.blocks.len());
+            for b in &f.blocks {
+                let &(addr, size) =
+                    blocks_placed
+                        .get(&b.id.0)
+                        .ok_or_else(|| ImageError::MissingBlock {
+                            function: f.name.clone(),
+                            block: b.id.0,
+                        })?;
+                text_start = text_start.min(addr);
+                text_end = text_end.max(addr + size as u64);
+                let mut calls = Vec::new();
+                let mut prefetches = Vec::new();
+                let mut off = 0u32;
+                let mut straight = 0u32;
+                for inst in &b.insts {
+                    match inst {
+                        Inst::Call(callee) => calls.push((off, fn_index[callee] as u32)),
+                        Inst::Prefetch(target) => prefetches.push(fn_index[target] as u32),
+                        _ => {}
+                    }
+                    straight += 1;
+                    off += inst_bytes(inst);
+                }
+                let trailing = size as i64 - off as i64
+                    - i64::from(matches!(b.term, Terminator::Ret));
+                let branch_insts =
+                    branch_count(trailing).ok_or_else(|| ImageError::BadBranchBytes {
+                        function: f.name.clone(),
+                        block: b.id.0,
+                        bytes: trailing,
+                    })?;
+                let term = match b.term {
+                    Terminator::Jump(t) => SimTerm::Jump(t.0),
+                    Terminator::CondBr {
+                        taken,
+                        fallthrough,
+                        prob_taken,
+                    } => SimTerm::Cond {
+                        taken: taken.0,
+                        ft: fallthrough.0,
+                        p: prob_taken,
+                    },
+                    Terminator::Ret => SimTerm::Ret,
+                };
+                blocks.push(SimBlock {
+                    prefetches,
+                    addr,
+                    size,
+                    straight_insts: straight,
+                    branch_insts: branch_insts
+                        + u32::from(matches!(b.term, Terminator::Ret)),
+                    calls,
+                    term,
+                });
+            }
+            functions.push(SimFunction {
+                name: f.name.clone(),
+                blocks,
+            });
+        }
+        if functions.is_empty() || text_start == u64::MAX {
+            text_start = 0;
+            text_end = 0;
+        }
+        Ok(ProgramImage {
+            functions,
+            fn_index,
+            text_start,
+            text_end,
+        })
+    }
+
+    /// Total text footprint in bytes.
+    pub fn text_size(&self) -> u64 {
+        self.text_end - self.text_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_count_table() {
+        assert_eq!(branch_count(0), Some(0));
+        for b in [2, 5, 6] {
+            assert_eq!(branch_count(b), Some(1));
+        }
+        for b in [4, 7, 8, 11] {
+            assert_eq!(branch_count(b), Some(2));
+        }
+        for b in [1, 3, 9, 12, -1] {
+            assert_eq!(branch_count(b), None, "bytes={b}");
+        }
+    }
+
+    #[test]
+    fn inst_byte_sizes_match_isa() {
+        assert_eq!(inst_bytes(&Inst::Alu), 3);
+        assert_eq!(inst_bytes(&Inst::Load), 4);
+        assert_eq!(inst_bytes(&Inst::Store), 4);
+        assert_eq!(inst_bytes(&Inst::Call(propeller_ir::FunctionId(0))), 5);
+        assert_eq!(inst_bytes(&Inst::Nop), 1);
+    }
+}

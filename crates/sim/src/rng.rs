@@ -1,0 +1,85 @@
+//! A tiny deterministic RNG for the simulation hot loop.
+
+/// SplitMix64: fast, well-distributed, and trivially seedable. Used
+/// instead of a general-purpose RNG because the simulator draws
+/// billions of branch decisions and must be bit-reproducible across
+/// platforms.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift; bias is negligible for simulation purposes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability_roughly() {
+        let mut r = SplitMix64::new(11);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

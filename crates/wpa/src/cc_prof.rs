@@ -1,0 +1,252 @@
+//! Textual serialization of cluster directives — the `cc_prof.txt`
+//! file of Figure 1.
+//!
+//! The format follows the LLVM Propeller profile convention: a `!`
+//! line names a function, each following `!!` line lists one cluster's
+//! basic block ids in layout order:
+//!
+//! ```text
+//! !hot_function
+//! !!primary 0 3 2
+//! !!cold 1 4
+//! !!1 5 6
+//! ```
+//!
+//! `primary` keeps the function's symbol, `cold` becomes the `.cold`
+//! section, a bare number `n` becomes the `.n` section (§3.4).
+
+use propeller_codegen::{Cluster, ClusterMap, ClusterName, FunctionClusters};
+use propeller_ir::{BlockId, Program};
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure in a `cc_prof` file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CcProfError {
+    /// A `!!` cluster line appeared before any `!` function line.
+    ClusterBeforeFunction {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A function named in the file does not exist in the program.
+    UnknownFunction {
+        /// The unknown name.
+        name: String,
+    },
+    /// A cluster label was not `primary`, `cold` or a number.
+    BadClusterLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The offending label.
+        label: String,
+    },
+    /// A block id failed to parse.
+    BadBlockId {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl fmt::Display for CcProfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcProfError::ClusterBeforeFunction { line } => {
+                write!(f, "line {line}: cluster line before any function line")
+            }
+            CcProfError::UnknownFunction { name } => {
+                write!(f, "unknown function {name:?} in cc_prof")
+            }
+            CcProfError::BadClusterLabel { line, label } => {
+                write!(f, "line {line}: bad cluster label {label:?}")
+            }
+            CcProfError::BadBlockId { line, token } => {
+                write!(f, "line {line}: bad block id {token:?}")
+            }
+        }
+    }
+}
+
+impl Error for CcProfError {}
+
+/// Renders a cluster map to `cc_prof.txt` contents. Functions are
+/// emitted in name order for reproducible output.
+pub fn cluster_map_to_text(map: &ClusterMap, program: &Program) -> String {
+    let mut entries: Vec<(&str, &FunctionClusters)> = map
+        .iter()
+        .filter_map(|(fid, clusters)| {
+            program.function(fid).map(|f| (f.name.as_str(), clusters))
+        })
+        .collect();
+    entries.sort_by_key(|(name, _)| *name);
+    let mut out = String::new();
+    for (name, clusters) in entries {
+        out.push('!');
+        out.push_str(name);
+        out.push('\n');
+        for c in &clusters.clusters {
+            out.push_str("!!");
+            match c.name {
+                ClusterName::Primary => out.push_str("primary"),
+                ClusterName::Cold => out.push_str("cold"),
+                ClusterName::Numbered(n) => out.push_str(&n.to_string()),
+            }
+            for b in &c.blocks {
+                out.push(' ');
+                out.push_str(&b.0.to_string());
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses `cc_prof.txt` contents back into a cluster map.
+///
+/// # Errors
+///
+/// Returns a [`CcProfError`] describing the first malformed line or
+/// unknown function.
+pub fn cluster_map_from_text(text: &str, program: &Program) -> Result<ClusterMap, CcProfError> {
+    let name_to_id: std::collections::HashMap<&str, propeller_ir::FunctionId> =
+        program.functions().map(|f| (f.name.as_str(), f.id)).collect();
+    let mut map = ClusterMap::new();
+    let mut current: Option<(propeller_ir::FunctionId, FunctionClusters)> = None;
+    let flush = |cur: &mut Option<(propeller_ir::FunctionId, FunctionClusters)>,
+                     map: &mut ClusterMap| {
+        if let Some((fid, clusters)) = cur.take() {
+            map.insert(fid, clusters);
+        }
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("!!") {
+            let Some((_, clusters)) = current.as_mut() else {
+                return Err(CcProfError::ClusterBeforeFunction { line: line_no });
+            };
+            let mut tokens = rest.split_whitespace();
+            let label = tokens.next().unwrap_or("");
+            let name = match label {
+                "primary" => ClusterName::Primary,
+                "cold" => ClusterName::Cold,
+                other => match other.parse::<u32>() {
+                    Ok(n) => ClusterName::Numbered(n),
+                    Err(_) => {
+                        return Err(CcProfError::BadClusterLabel {
+                            line: line_no,
+                            label: other.to_string(),
+                        })
+                    }
+                },
+            };
+            let mut blocks = Vec::new();
+            for t in tokens {
+                let id: u32 = t.parse().map_err(|_| CcProfError::BadBlockId {
+                    line: line_no,
+                    token: t.to_string(),
+                })?;
+                blocks.push(BlockId(id));
+            }
+            clusters.clusters.push(Cluster { name, blocks });
+        } else if let Some(name) = line.strip_prefix('!') {
+            flush(&mut current, &mut map);
+            let fid = name_to_id
+                .get(name.trim())
+                .copied()
+                .ok_or_else(|| CcProfError::UnknownFunction {
+                    name: name.trim().to_string(),
+                })?;
+            current = Some((fid, FunctionClusters { clusters: Vec::new() }));
+        }
+    }
+    flush(&mut current, &mut map);
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_ir::{FunctionBuilder, Inst, ProgramBuilder, Terminator};
+
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m.cc");
+        for name in ["alpha", "beta"] {
+            let mut f = FunctionBuilder::new(name);
+            f.add_block(vec![Inst::Alu], Terminator::Jump(BlockId(1)));
+            f.add_block(Vec::new(), Terminator::Jump(BlockId(2)));
+            f.add_block(Vec::new(), Terminator::Ret);
+            pb.add_function(m, f);
+        }
+        pb.finish().unwrap()
+    }
+
+    fn sample_map(p: &Program) -> ClusterMap {
+        let mut map = ClusterMap::new();
+        let alpha = p.functions().find(|f| f.name == "alpha").unwrap().id;
+        map.insert(
+            alpha,
+            FunctionClusters {
+                clusters: vec![
+                    Cluster {
+                        name: ClusterName::Primary,
+                        blocks: vec![BlockId(0), BlockId(2)],
+                    },
+                    Cluster {
+                        name: ClusterName::Numbered(1),
+                        blocks: vec![BlockId(1)],
+                    },
+                ],
+            },
+        );
+        map
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = program();
+        let map = sample_map(&p);
+        let text = cluster_map_to_text(&map, &p);
+        assert!(text.contains("!alpha"));
+        assert!(text.contains("!!primary 0 2"));
+        assert!(text.contains("!!1 1"));
+        let parsed = cluster_map_from_text(&text, &p).unwrap();
+        let alpha = p.functions().find(|f| f.name == "alpha").unwrap().id;
+        assert_eq!(parsed.get(alpha), map.get(alpha));
+        assert_eq!(parsed.len(), map.len());
+    }
+
+    #[test]
+    fn parse_errors() {
+        let p = program();
+        assert!(matches!(
+            cluster_map_from_text("!!primary 0\n", &p),
+            Err(CcProfError::ClusterBeforeFunction { line: 1 })
+        ));
+        assert!(matches!(
+            cluster_map_from_text("!nonexistent\n", &p),
+            Err(CcProfError::UnknownFunction { .. })
+        ));
+        assert!(matches!(
+            cluster_map_from_text("!alpha\n!!weird 0\n", &p),
+            Err(CcProfError::BadClusterLabel { line: 2, .. })
+        ));
+        assert!(matches!(
+            cluster_map_from_text("!alpha\n!!primary zero\n", &p),
+            Err(CcProfError::BadBlockId { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = program();
+        let text = "# header\n\n!alpha\n!!primary 0 1 2\n";
+        let parsed = cluster_map_from_text(text, &p).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+}

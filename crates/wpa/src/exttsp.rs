@@ -1,0 +1,531 @@
+//! The Ext-TSP basic block reordering algorithm (Newell & Pupyrev,
+//! "Improved Basic Block Reordering", 2018), as used by Propeller for
+//! intra-function layout (§3.3) and — on the whole-program graph — for
+//! inter-procedural layout (§4.7).
+//!
+//! Ext-TSP maximizes `Σ weight(e) · gain(e)` where a fall-through edge
+//! gains 1.0 and short forward/backward jumps gain up to 0.1, decaying
+//! linearly with distance. The optimizer greedily merges chains of
+//! blocks, always applying the highest-gain merge; the priority queue
+//! with lazy invalidation implements the paper's "logarithmic time
+//! retrieval of the most profitable action" improvement.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// A layout node (a basic block, or a whole section for the
+/// inter-procedural variant).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Node {
+    /// Caller-meaningful identifier (block id / section index).
+    pub id: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Execution count (used for tie-breaking and density ordering).
+    pub count: u64,
+}
+
+/// A weighted directed edge between nodes.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+    /// Dynamic weight.
+    pub weight: u64,
+}
+
+/// Scoring and search parameters; defaults follow the published
+/// constants.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct ExtTspParams {
+    /// Maximum forward jump distance that still scores.
+    pub forward_window: u64,
+    /// Maximum backward jump distance that still scores.
+    pub backward_window: u64,
+    /// Score of a perfect fall-through.
+    pub fallthrough_weight: f64,
+    /// Peak score of a short forward jump.
+    pub forward_weight: f64,
+    /// Peak score of a short backward jump.
+    pub backward_weight: f64,
+    /// Chains no longer than this are considered for 3-way split
+    /// merges; longer chains only concatenate (the scalability knob of
+    /// §4.7).
+    pub chain_split_threshold: usize,
+}
+
+impl Default for ExtTspParams {
+    fn default() -> Self {
+        ExtTspParams {
+            forward_window: 1024,
+            backward_window: 640,
+            fallthrough_weight: 1.0,
+            forward_weight: 0.1,
+            backward_weight: 0.1,
+            chain_split_threshold: 128,
+        }
+    }
+}
+
+/// Scores one edge given the source block's end offset and the
+/// destination block's start offset.
+fn edge_score(params: &ExtTspParams, w: u64, src_end: u64, dst_start: u64) -> f64 {
+    let w = w as f64;
+    if src_end == dst_start {
+        return w * params.fallthrough_weight;
+    }
+    if dst_start > src_end {
+        let d = dst_start - src_end;
+        if d < params.forward_window {
+            return w * params.forward_weight * (1.0 - d as f64 / params.forward_window as f64);
+        }
+    } else {
+        let d = src_end - dst_start;
+        if d < params.backward_window {
+            return w * params.backward_weight * (1.0 - d as f64 / params.backward_window as f64);
+        }
+    }
+    0.0
+}
+
+/// Computes the Ext-TSP score of a complete layout. Exposed for tests,
+/// benches and the ablation harness.
+pub fn score_layout(order: &[u32], nodes: &[Node], edges: &[Edge], params: &ExtTspParams) -> f64 {
+    let size_of: HashMap<u32, u64> = nodes.iter().map(|n| (n.id, n.size as u64)).collect();
+    let mut pos: HashMap<u32, u64> = HashMap::with_capacity(order.len());
+    let mut cursor = 0u64;
+    for &id in order {
+        pos.insert(id, cursor);
+        cursor += size_of[&id];
+    }
+    let mut total = 0.0;
+    for e in edges {
+        let (Some(&sp), Some(&dp)) = (pos.get(&e.src), pos.get(&e.dst)) else {
+            continue;
+        };
+        total += edge_score(params, e.weight, sp + size_of[&e.src], dp);
+    }
+    total
+}
+
+#[derive(Clone, Debug)]
+struct Chain {
+    blocks: Vec<usize>, // dense node indices
+    version: u64,
+}
+
+struct HeapEntry {
+    gain: f64,
+    x: usize,
+    y: usize,
+    vx: u64,
+    vy: u64,
+    /// Merge variant: `usize::MAX` = concat(x,y); otherwise split x at
+    /// this position and lay out X1, Y, X2.
+    split: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Primary: gain. Ties broken deterministically (smaller chain
+        // ids pop first) so results do not depend on hash iteration
+        // order at call sites.
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.x.cmp(&self.x))
+            .then_with(|| other.y.cmp(&self.y))
+            .then_with(|| other.split.cmp(&self.split))
+    }
+}
+
+/// The greedy chain-merging optimizer.
+struct Optimizer<'a> {
+    params: &'a ExtTspParams,
+    sizes: Vec<u64>,
+    /// Incident edges per dense node index: `(other end, weight,
+    /// is_outgoing)`.
+    incident: Vec<Vec<(usize, u64, bool)>>,
+    chains: Vec<Option<Chain>>,
+    chain_of: Vec<usize>,
+    neighbors: Vec<HashSet<usize>>,
+    entry_idx: usize,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Scores all edges internal to the block sequence `seq`.
+    fn score_seq(&self, seq: &[usize]) -> f64 {
+        let mut pos = HashMap::with_capacity(seq.len());
+        let mut cursor = 0u64;
+        for &b in seq {
+            pos.insert(b, cursor);
+            cursor += self.sizes[b];
+        }
+        let mut total = 0.0;
+        for &b in seq {
+            for &(other, w, outgoing) in &self.incident[b] {
+                if !outgoing {
+                    continue;
+                }
+                if let Some(&dp) = pos.get(&other) {
+                    total += edge_score(self.params, w, pos[&b] + self.sizes[b], dp);
+                }
+            }
+        }
+        total
+    }
+
+    fn chain(&self, c: usize) -> &Chain {
+        self.chains[c].as_ref().expect("live chain")
+    }
+
+    /// Whether a merged sequence would violate the entry-first
+    /// constraint.
+    fn entry_ok(&self, seq: &[usize]) -> bool {
+        match seq.iter().position(|&b| b == self.entry_idx) {
+            Some(0) | None => true,
+            _ => false,
+        }
+    }
+
+    /// Enumerates merge variants of chains `x` and `y` and returns the
+    /// best `(gain, split)` if any is valid and positive.
+    fn best_merge(&self, x: usize, y: usize) -> Option<(f64, usize)> {
+        let cx = self.chain(x);
+        let cy = self.chain(y);
+        let base = self.score_seq(&cx.blocks) + self.score_seq(&cy.blocks);
+        let mut best: Option<(f64, usize)> = None;
+        let mut consider = |seq: &[usize], split: usize, this: &Self| {
+            if !this.entry_ok(seq) {
+                return;
+            }
+            let gain = this.score_seq(seq) - base;
+            if gain > best.map_or(0.0, |(g, _)| g) + 1e-9 {
+                best = Some((gain, split));
+            }
+        };
+        // concat(x, y)
+        let mut seq = cx.blocks.clone();
+        seq.extend_from_slice(&cy.blocks);
+        consider(&seq, usize::MAX, self);
+        // Splits of x with y inserted: X1 Y X2 (split = 1..len). A
+        // split at len(x) is concat; at 0 it is concat(y, x) — both
+        // covered by the loop bounds when x is small enough.
+        if cx.blocks.len() <= self.params.chain_split_threshold {
+            for k in 0..cx.blocks.len() {
+                let mut seq = Vec::with_capacity(cx.blocks.len() + cy.blocks.len());
+                seq.extend_from_slice(&cx.blocks[..k]);
+                seq.extend_from_slice(&cy.blocks);
+                seq.extend_from_slice(&cx.blocks[k..]);
+                consider(&seq, k, self);
+            }
+        } else {
+            // Large chain: still allow concat(y, x).
+            let mut seq = cy.blocks.clone();
+            seq.extend_from_slice(&cx.blocks);
+            consider(&seq, 0, self);
+        }
+        best
+    }
+
+    /// Applies the merge described by `(x, y, split)`.
+    fn apply(&mut self, x: usize, y: usize, split: usize) {
+        let cy = self.chains[y].take().expect("live chain");
+        let cx = self.chains[x].as_mut().expect("live chain");
+        if split == usize::MAX {
+            cx.blocks.extend_from_slice(&cy.blocks);
+        } else {
+            let tail = cx.blocks.split_off(split);
+            cx.blocks.extend_from_slice(&cy.blocks);
+            cx.blocks.extend_from_slice(&tail);
+        }
+        cx.version += 1;
+        for &b in &cy.blocks {
+            self.chain_of[b] = x;
+        }
+        // Merge neighbor sets.
+        let ny = std::mem::take(&mut self.neighbors[y]);
+        for n in ny {
+            if n != x {
+                self.neighbors[n].remove(&y);
+                self.neighbors[n].insert(x);
+                self.neighbors[x].insert(n);
+            }
+        }
+        self.neighbors[x].remove(&y);
+        self.neighbors[x].remove(&x);
+    }
+}
+
+/// Orders `nodes` to maximize the Ext-TSP score, keeping `entry` first.
+///
+/// Nodes never observed in an edge stay in their own chains and are
+/// appended in descending density order after the merged hot chains.
+///
+/// # Panics
+///
+/// Panics if `entry` is not among `nodes` or ids are duplicated.
+pub fn order_nodes(nodes: &[Node], edges: &[Edge], entry: u32, params: &ExtTspParams) -> Vec<u32> {
+    assert!(!nodes.is_empty(), "need at least one node");
+    let mut dense: HashMap<u32, usize> = HashMap::with_capacity(nodes.len());
+    for (i, n) in nodes.iter().enumerate() {
+        let prev = dense.insert(n.id, i);
+        assert!(prev.is_none(), "duplicate node id {}", n.id);
+    }
+    let entry_idx = *dense.get(&entry).expect("entry must be a node");
+
+    let mut incident = vec![Vec::new(); nodes.len()];
+    for e in edges {
+        let (Some(&s), Some(&d)) = (dense.get(&e.src), dense.get(&e.dst)) else {
+            continue;
+        };
+        incident[s].push((d, e.weight, true));
+        if s != d {
+            incident[d].push((s, e.weight, false));
+        }
+    }
+
+    let mut opt = Optimizer {
+        params,
+        sizes: nodes.iter().map(|n| n.size as u64).collect(),
+        incident,
+        chains: (0..nodes.len())
+            .map(|i| {
+                Some(Chain {
+                    blocks: vec![i],
+                    version: 0,
+                })
+            })
+            .collect(),
+        chain_of: (0..nodes.len()).collect(),
+        neighbors: vec![HashSet::new(); nodes.len()],
+        entry_idx,
+    };
+    for e in edges {
+        let (Some(&s), Some(&d)) = (dense.get(&e.src), dense.get(&e.dst)) else {
+            continue;
+        };
+        if s != d {
+            opt.neighbors[s].insert(d);
+            opt.neighbors[d].insert(s);
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    let push_pair = |opt: &Optimizer, heap: &mut BinaryHeap<HeapEntry>, x: usize, y: usize| {
+        if let Some((gain, split)) = opt.best_merge(x, y) {
+            heap.push(HeapEntry {
+                gain,
+                x,
+                y,
+                vx: opt.chain(x).version,
+                vy: opt.chain(y).version,
+                split,
+            });
+        }
+    };
+    let mut pairs: Vec<(usize, usize)> = (0..nodes.len())
+        .flat_map(|x| opt.neighbors[x].iter().map(move |&y| (x, y)))
+        .filter(|&(x, y)| x < y)
+        .collect();
+    pairs.sort_unstable();
+    for (x, y) in pairs {
+        push_pair(&opt, &mut heap, x, y);
+        push_pair(&opt, &mut heap, y, x);
+    }
+
+    while let Some(entry) = heap.pop() {
+        if entry.gain <= 1e-9 {
+            break;
+        }
+        let (x, y) = (entry.x, entry.y);
+        if opt.chains[x].is_none() || opt.chains[y].is_none() {
+            continue;
+        }
+        if opt.chain(x).version != entry.vx || opt.chain(y).version != entry.vy {
+            // Stale: recompute and requeue.
+            push_pair(&opt, &mut heap, x, y);
+            continue;
+        }
+        opt.apply(x, y, entry.split);
+        let mut affected: Vec<usize> = opt.neighbors[x].iter().copied().collect();
+        affected.sort_unstable();
+        for n in affected {
+            push_pair(&opt, &mut heap, x, n);
+            push_pair(&opt, &mut heap, n, x);
+        }
+    }
+
+    // Assemble: entry chain first, then remaining chains by density.
+    let mut rest: Vec<usize> = Vec::new();
+    let entry_chain = opt.chain_of[entry_idx];
+    for (ci, c) in opt.chains.iter().enumerate() {
+        if c.is_some() && ci != entry_chain {
+            rest.push(ci);
+        }
+    }
+    let density = |ci: usize| -> f64 {
+        let c = opt.chain(ci);
+        let count: u64 = c.blocks.iter().map(|&b| nodes[b].count).sum();
+        let size: u64 = c.blocks.iter().map(|&b| opt.sizes[b]).sum::<u64>().max(1);
+        count as f64 / size as f64
+    };
+    rest.sort_by(|&a, &b| {
+        density(b)
+            .total_cmp(&density(a))
+            .then_with(|| opt.chain(a).blocks[0].cmp(&opt.chain(b).blocks[0]))
+    });
+
+    let mut order = Vec::with_capacity(nodes.len());
+    for &b in &opt.chain(entry_chain).blocks {
+        order.push(nodes[b].id);
+    }
+    for ci in rest {
+        for &b in &opt.chain(ci).blocks {
+            order.push(nodes[b].id);
+        }
+    }
+
+    // Greedy chain merging can lock in early merges and end up scoring
+    // below the incoming (original) order on loop-dense graphs. Never
+    // return a layout worse than the one the compiler already had.
+    let input_order: Vec<u32> = nodes.iter().map(|n| n.id).collect();
+    if input_order.first() == Some(&entry)
+        && score_layout(&order, nodes, edges, params) + 1e-9
+            < score_layout(&input_order, nodes, edges, params)
+    {
+        return input_order;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(sizes: &[(u32, u32, u64)]) -> Vec<Node> {
+        sizes
+            .iter()
+            .map(|&(id, size, count)| Node { id, size, count })
+            .collect()
+    }
+
+    fn edge(src: u32, dst: u32, weight: u64) -> Edge {
+        Edge { src, dst, weight }
+    }
+
+    #[test]
+    fn hot_path_becomes_fallthrough_chain() {
+        // 0 -> 2 hot, 0 -> 1 cold, both -> 3. Original order 0,1,2,3.
+        let ns = nodes(&[(0, 20, 100), (1, 20, 5), (2, 20, 95), (3, 20, 100)]);
+        let es = vec![
+            edge(0, 1, 5),
+            edge(0, 2, 95),
+            edge(1, 3, 5),
+            edge(2, 3, 95),
+        ];
+        let order = order_nodes(&ns, &es, 0, &ExtTspParams::default());
+        assert_eq!(order[0], 0);
+        // 2 must directly follow 0; 3 follows 2.
+        let p2 = order.iter().position(|&b| b == 2).unwrap();
+        let p3 = order.iter().position(|&b| b == 3).unwrap();
+        assert_eq!(p2, 1, "hot successor adjacent: {order:?}");
+        assert_eq!(p3, 2, "chain continues: {order:?}");
+        // Score is at least the original order's.
+        let base = score_layout(&[0, 1, 2, 3], &ns, &es, &ExtTspParams::default());
+        let opt = score_layout(&order, &ns, &es, &ExtTspParams::default());
+        assert!(opt >= base);
+    }
+
+    #[test]
+    fn entry_stays_first_even_with_hot_incoming_edges() {
+        // A loop back edge 2 -> 0 would love to put 2 before 0.
+        let ns = nodes(&[(0, 10, 100), (1, 10, 100), (2, 10, 100)]);
+        let es = vec![edge(0, 1, 100), edge(1, 2, 100), edge(2, 0, 99)];
+        let order = order_nodes(&ns, &es, 0, &ExtTspParams::default());
+        assert_eq!(order[0], 0, "{order:?}");
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn isolated_nodes_appended_by_density() {
+        let ns = nodes(&[(0, 10, 10), (7, 10, 0), (8, 10, 500)]);
+        let es = vec![];
+        let order = order_nodes(&ns, &es, 0, &ExtTspParams::default());
+        assert_eq!(order, vec![0, 8, 7]);
+    }
+
+    #[test]
+    fn split_merge_beats_concat_for_sandwiched_callout() {
+        // Chain 0-1 exists (hot). Node 2 is hottest between 0 and 1:
+        // 0->2 (100), 2->1 (100), 0->1 (10). Best layout: 0,2,1 which
+        // needs splitting the (0,1) chain if it formed first.
+        let ns = nodes(&[(0, 10, 110), (1, 10, 110), (2, 10, 100)]);
+        let es = vec![edge(0, 1, 30), edge(0, 2, 100), edge(2, 1, 100)];
+        let order = order_nodes(&ns, &es, 0, &ExtTspParams::default());
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn score_layout_prefers_fallthrough() {
+        let ns = nodes(&[(0, 10, 1), (1, 10, 1)]);
+        let es = vec![edge(0, 1, 10)];
+        let p = ExtTspParams::default();
+        let adjacent = score_layout(&[0, 1], &ns, &es, &p);
+        let reversed = score_layout(&[1, 0], &ns, &es, &p);
+        assert!((adjacent - 10.0).abs() < 1e-9);
+        // Backward jump of distance 20 scores 0.1 * (1 - 20/640) * 10.
+        let expected = 10.0 * 0.1 * (1.0 - 20.0 / 640.0);
+        assert!((reversed - expected).abs() < 1e-9);
+        assert!(adjacent > reversed);
+    }
+
+    #[test]
+    fn forward_window_cutoff() {
+        let ns = nodes(&[(0, 10, 1), (1, 2000, 1), (2, 10, 1)]);
+        let es = vec![edge(0, 2, 10)];
+        let p = ExtTspParams::default();
+        // 0 .. 1(2000 bytes) .. 2: forward distance 2000 > 1024 -> 0.
+        assert_eq!(score_layout(&[0, 1, 2], &ns, &es, &p), 0.0);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let ns: Vec<Node> = (0..30)
+            .map(|i| Node {
+                id: i,
+                size: 16 + (i % 7),
+                count: (i as u64 * 37) % 100,
+            })
+            .collect();
+        let es: Vec<Edge> = (0..29)
+            .map(|i| edge(i, i + 1, ((i as u64 * 13) % 50) + 1))
+            .chain((0..10).map(|i| edge(i * 2, (i * 3 + 5) % 30, 40)))
+            .collect();
+        let a = order_nodes(&ns, &es, 0, &ExtTspParams::default());
+        let b = order_nodes(&ns, &es, 0, &ExtTspParams::default());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..30).collect::<Vec<_>>(), "permutation");
+    }
+
+    #[test]
+    #[should_panic(expected = "entry must be a node")]
+    fn unknown_entry_panics() {
+        order_nodes(&nodes(&[(0, 1, 0)]), &[], 9, &ExtTspParams::default());
+    }
+}

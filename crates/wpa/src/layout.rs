@@ -1,0 +1,385 @@
+//! The WPA driver: from profile to `cc_prof` + `ld_prof`.
+
+use crate::dcfg::{Dcfg, DcfgFunction};
+use crate::exttsp::{order_nodes, Edge, Node};
+use crate::mapper::AddressMapper;
+use crate::options::{GlobalOrder, IntraOrder, WpaOptions};
+use propeller_codegen::{Cluster, ClusterMap, ClusterName, FunctionClusters};
+use propeller_ir::{BlockId, FunctionId, Program};
+use propeller_linker::{LinkedBinary, SymbolOrdering};
+use propeller_profile::{AggregatedProfile, HardwareProfile};
+use std::collections::HashMap;
+
+/// Statistics of one WPA run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct WpaStats {
+    /// Functions present in the metadata binary's address map.
+    pub functions_seen: usize,
+    /// Functions with at least one hot block (these get directives).
+    pub hot_functions: usize,
+    /// Hot blocks across all functions.
+    pub hot_blocks: usize,
+    /// Dynamic CFG edges processed.
+    pub dcfg_edges: usize,
+    /// Raw profile bytes read.
+    pub profile_bytes: u64,
+    /// Modeled peak memory: max(profile reading, address map + DCFG) —
+    /// §5.1: "the peak memory usage is attributed to the maximum of
+    /// reading profiles and the in-memory DCFG".
+    pub modeled_peak_memory: u64,
+}
+
+/// The two Phase 3 outputs plus statistics.
+#[derive(Clone, Debug)]
+pub struct WpaOutput {
+    /// Per-function cluster directives (`cc_prof`).
+    pub cluster_map: ClusterMap,
+    /// Global section order (`ld_prof`).
+    pub symbol_order: SymbolOrdering,
+    /// Run statistics.
+    pub stats: WpaStats,
+}
+
+/// One planned cluster, before serialization into the outputs.
+struct PlannedCluster {
+    symbol: String,
+    weight: u64,
+    size: u64,
+    cold: bool,
+}
+
+/// Runs whole-program analysis.
+///
+/// `program` is used only to translate function symbols into
+/// [`FunctionId`]s for the cluster map (the textual `cc_prof.txt` of
+/// the real tool does the same by name); all layout inputs come from
+/// the binary's address map and the profile.
+pub fn run_wpa(
+    program: &Program,
+    binary: &LinkedBinary,
+    profile: &HardwareProfile,
+    opts: &WpaOptions,
+) -> WpaOutput {
+    let agg = AggregatedProfile::from_profile(profile);
+    let mapper = AddressMapper::from_binary(binary);
+    let dcfg = Dcfg::build(&mapper, &agg);
+
+    let name_to_id: HashMap<&str, FunctionId> =
+        program.functions().map(|f| (f.name.as_str(), f.id)).collect();
+    let mapper_idx: HashMap<&str, u32> = (0..mapper.num_functions() as u32)
+        .map(|i| (mapper.func_symbol(i), i))
+        .collect();
+
+    let mut cluster_map = ClusterMap::new();
+    let mut planned: Vec<PlannedCluster> = Vec::new();
+    // (mapper function idx, bb id) -> planned cluster index, for
+    // inter-procedural edge mapping.
+    let mut cluster_of_block: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut cold_clusters: Vec<PlannedCluster> = Vec::new();
+    let mut stats = WpaStats {
+        functions_seen: binary.bb_addr_map.functions.len(),
+        dcfg_edges: dcfg.num_edges(),
+        profile_bytes: profile.raw_size_bytes(),
+        ..WpaStats::default()
+    };
+
+    for fmap in &binary.bb_addr_map.functions {
+        let Some(&fi) = mapper_idx.get(fmap.func_symbol.as_str()) else {
+            continue;
+        };
+        let Some(&fid) = name_to_id.get(fmap.func_symbol.as_str()) else {
+            continue;
+        };
+        let dc: &DcfgFunction = &dcfg.functions[fi as usize];
+        if dc.total_count() < opts.min_function_samples.max(1) {
+            // Wholly cold (or too thinly sampled to trust): untouched,
+            // reused from cache.
+            continue;
+        }
+        stats.hot_functions += 1;
+
+        // Collect the complete block list with sizes.
+        let mut size_of: HashMap<u32, u32> = HashMap::new();
+        let mut all_blocks: Vec<u32> = Vec::new();
+        for (_, entries) in &fmap.ranges {
+            for e in entries {
+                size_of.insert(e.bb_id, e.size);
+                all_blocks.push(e.bb_id);
+            }
+        }
+        all_blocks.sort_unstable();
+
+        let count = |b: u32| dc.block_counts.get(&b).copied().unwrap_or(0);
+        // Hot/cold classification: hardware samples by default; the
+        // stale compile-time PGO frequencies for the §4.6 comparison.
+        let pgo_hot: Option<Vec<bool>> = match opts.cold_source {
+            crate::options::ColdSource::HardwareSamples => None,
+            crate::options::ColdSource::PgoFrequencies => {
+                program.function(fid).map(|f| {
+                    f.blocks.iter().map(|b| b.freq > 0).collect::<Vec<bool>>()
+                })
+            }
+        };
+        let is_hot = |b: u32| -> bool {
+            match &pgo_hot {
+                Some(flags) => flags.get(b as usize).copied().unwrap_or(false),
+                None => count(b) >= opts.hot_threshold,
+            }
+        };
+        let mut hot: Vec<u32> = all_blocks
+            .iter()
+            .copied()
+            .filter(|&b| is_hot(b))
+            .collect();
+        if !hot.contains(&0) {
+            // The entry executed if anything did; force it hot so the
+            // primary cluster starts with it.
+            hot.insert(0, 0);
+        }
+        stats.hot_blocks += hot.len();
+        let cold: Vec<u32> = all_blocks
+            .iter()
+            .copied()
+            .filter(|b| !hot.contains(b))
+            .collect();
+
+        // Intra-function order.
+        let hot_order: Vec<u32> = match opts.intra {
+            IntraOrder::Original => hot.clone(),
+            IntraOrder::ExtTsp => {
+                let nodes: Vec<Node> = hot
+                    .iter()
+                    .map(|&b| Node {
+                        id: b,
+                        size: size_of[&b],
+                        count: count(b),
+                    })
+                    .collect();
+                let mut edges: Vec<Edge> = dc
+                    .edges
+                    .iter()
+                    .filter(|(&(s, d, _), _)| hot.contains(&s) && hot.contains(&d))
+                    .map(|(&(s, d, _), &w)| Edge {
+                        src: s,
+                        dst: d,
+                        weight: w,
+                    })
+                    .collect();
+                edges.sort_unstable_by_key(|e| (e.src, e.dst, e.weight));
+                order_nodes(&nodes, &edges, 0, &opts.exttsp)
+            }
+        };
+
+        // Optionally cut the hot chain for inter-procedural layout.
+        let segments: Vec<Vec<u32>> = if opts.interproc_split > 0 && hot_order.len() > 2 {
+            cut_chain(&hot_order, dc, opts.interproc_split)
+        } else {
+            vec![hot_order.clone()]
+        };
+
+        let mut clusters: Vec<Cluster> = Vec::new();
+        let mut fn_cold = cold.clone();
+        if !opts.split {
+            // No splitting: single cluster, hot order then cold blocks.
+            let mut blocks = hot_order.clone();
+            blocks.extend(&cold);
+            fn_cold.clear();
+            clusters.push(Cluster {
+                name: ClusterName::Primary,
+                blocks: blocks.into_iter().map(BlockId).collect(),
+            });
+        } else {
+            for (i, seg) in segments.iter().enumerate() {
+                let name = if i == 0 {
+                    ClusterName::Primary
+                } else {
+                    ClusterName::Numbered(i as u32)
+                };
+                clusters.push(Cluster {
+                    name,
+                    blocks: seg.iter().copied().map(BlockId).collect(),
+                });
+            }
+            if !fn_cold.is_empty() {
+                clusters.push(Cluster {
+                    name: ClusterName::Cold,
+                    blocks: fn_cold.iter().copied().map(BlockId).collect(),
+                });
+            }
+        }
+
+        // Plan global ordering entries.
+        for c in &clusters {
+            let symbol = c.name.symbol(&fmap.func_symbol);
+            let weight: u64 = c.blocks.iter().map(|b| count(b.0)).sum();
+            let size: u64 = c
+                .blocks
+                .iter()
+                .map(|b| size_of.get(&b.0).copied().unwrap_or(0) as u64)
+                .sum();
+            let is_cold = matches!(c.name, ClusterName::Cold);
+            let plan = PlannedCluster {
+                symbol,
+                weight,
+                size: size.max(1),
+                cold: is_cold,
+            };
+            if is_cold {
+                cold_clusters.push(plan);
+            } else {
+                let idx = planned.len();
+                for b in &c.blocks {
+                    cluster_of_block.insert((fi, b.0), idx);
+                }
+                planned.push(plan);
+            }
+        }
+
+        cluster_map.insert(fid, FunctionClusters { clusters });
+    }
+
+    // Global order.
+    let hot_symbols: Vec<String> = match opts.global {
+        GlobalOrder::InputOrder => planned.iter().map(|p| p.symbol.clone()).collect(),
+        GlobalOrder::HotFirst => {
+            let mut idx: Vec<usize> = (0..planned.len()).collect();
+            idx.sort_by(|&a, &b| {
+                let da = planned[a].weight as f64 / planned[a].size as f64;
+                let db = planned[b].weight as f64 / planned[b].size as f64;
+                db.total_cmp(&da).then(a.cmp(&b))
+            });
+            idx.into_iter().map(|i| planned[i].symbol.clone()).collect()
+        }
+        GlobalOrder::ExtTspInterproc => {
+            if planned.is_empty() {
+                Vec::new()
+            } else {
+                let nodes: Vec<Node> = planned
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| Node {
+                        id: i as u32,
+                        size: p.size.min(u32::MAX as u64) as u32,
+                        count: p.weight,
+                    })
+                    .collect();
+                let mut edge_w: HashMap<(u32, u32), u64> = HashMap::new();
+                for (&(cf, cb, df), &w) in &dcfg.calls {
+                    let (Some(&src), Some(&dst)) = (
+                        cluster_of_block.get(&(cf, cb)),
+                        cluster_of_block.get(&(df, 0)),
+                    ) else {
+                        continue;
+                    };
+                    if src != dst {
+                        *edge_w.entry((src as u32, dst as u32)).or_insert(0) += w;
+                    }
+                }
+                // Intra-function edges crossing clusters also connect
+                // sections.
+                for (fi, dc) in dcfg.functions.iter().enumerate() {
+                    for (&(s, d, _), &w) in &dc.edges {
+                        let (Some(&src), Some(&dst)) = (
+                            cluster_of_block.get(&(fi as u32, s)),
+                            cluster_of_block.get(&(fi as u32, d)),
+                        ) else {
+                            continue;
+                        };
+                        if src != dst {
+                            *edge_w.entry((src as u32, dst as u32)).or_insert(0) += w;
+                        }
+                    }
+                }
+                let mut edges: Vec<Edge> = edge_w
+                    .into_iter()
+                    .map(|((src, dst), weight)| Edge { src, dst, weight })
+                    .collect();
+                edges.sort_unstable_by_key(|e| (e.src, e.dst));
+                let entry = nodes
+                    .iter()
+                    .max_by(|a, b| {
+                        let da = a.count as f64 / a.size.max(1) as f64;
+                        let db = b.count as f64 / b.size.max(1) as f64;
+                        da.total_cmp(&db)
+                    })
+                    .map(|n| n.id)
+                    .unwrap_or(0);
+                let mut params = opts.exttsp;
+                // Section-level locality windows are page-scale.
+                params.forward_window = 4096;
+                params.backward_window = 4096;
+                order_nodes(&nodes, &edges, entry, &params)
+                    .into_iter()
+                    .map(|i| planned[i as usize].symbol.clone())
+                    .collect()
+            }
+        }
+    };
+    let mut symbol_order = SymbolOrdering::new(hot_symbols);
+    for c in &cold_clusters {
+        debug_assert!(c.cold);
+        symbol_order.push(c.symbol.clone());
+    }
+
+    let analysis_mem = mapper.modeled_memory_bytes() + dcfg.modeled_memory_bytes();
+    stats.modeled_peak_memory = stats.profile_bytes.max(analysis_mem);
+
+    WpaOutput {
+        cluster_map,
+        symbol_order,
+        stats,
+    }
+}
+
+/// Cuts a hot chain at its `k` coldest internal edges, yielding up to
+/// `k + 1` segments (never cutting before the entry block).
+fn cut_chain(order: &[u32], dc: &DcfgFunction, k: usize) -> Vec<Vec<u32>> {
+    let edge_weight = |a: u32, b: u32| -> u64 {
+        dc.edges
+            .iter()
+            .filter(|(&(s, d, _), _)| s == a && d == b)
+            .map(|(_, &w)| w)
+            .sum()
+    };
+    // Candidate cut positions 1..len, ranked by the weight of the edge
+    // they would break.
+    let mut cuts: Vec<(u64, usize)> = (1..order.len())
+        .map(|i| (edge_weight(order[i - 1], order[i]), i))
+        .collect();
+    cuts.sort();
+    let mut chosen: Vec<usize> = cuts.iter().take(k).map(|&(_, i)| i).collect();
+    chosen.sort_unstable();
+    let mut segments = Vec::with_capacity(chosen.len() + 1);
+    let mut start = 0;
+    for c in chosen {
+        if c > start {
+            segments.push(order[start..c].to_vec());
+            start = c;
+        }
+    }
+    segments.push(order[start..].to_vec());
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_chain_splits_at_coldest_edges() {
+        let mut dc = DcfgFunction::default();
+        use crate::dcfg::EdgeKind;
+        dc.edges.insert((0, 1, EdgeKind::Branch), 100);
+        dc.edges.insert((1, 2, EdgeKind::Branch), 1); // coldest
+        dc.edges.insert((2, 3, EdgeKind::Branch), 50);
+        let segs = cut_chain(&[0, 1, 2, 3], &dc, 1);
+        assert_eq!(segs, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn cut_chain_zero_cuts_degenerates() {
+        let dc = DcfgFunction::default();
+        let segs = cut_chain(&[0, 1, 2], &dc, 0);
+        assert_eq!(segs, vec![vec![0, 1, 2]]);
+    }
+}

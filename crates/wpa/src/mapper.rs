@@ -1,0 +1,198 @@
+//! Mapping sampled addresses to machine basic blocks via the BB
+//! address map — the step that replaces disassembly.
+
+use propeller_linker::LinkedBinary;
+
+/// A resolved sample location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MappedLoc {
+    /// The owning function's primary symbol.
+    pub func_symbol: String,
+    /// The machine basic block id within that function.
+    pub bb_id: u32,
+    /// Byte offset of the address within the block.
+    pub offset_in_block: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Interval {
+    start: u64,
+    end: u64,
+    func_idx: u32,
+    bb_id: u32,
+}
+
+/// Binary-searchable map from virtual addresses to basic blocks, built
+/// from a linked binary's merged `.llvm_bb_addr_map` and symbol table.
+#[derive(Clone, Debug)]
+pub struct AddressMapper {
+    intervals: Vec<Interval>,
+    func_symbols: Vec<String>,
+}
+
+impl AddressMapper {
+    /// Builds the mapper from the metadata binary.
+    ///
+    /// Functions whose range symbols cannot be resolved are skipped
+    /// (they contribute no mappable blocks), mirroring how the real
+    /// tool tolerates stripped inputs.
+    pub fn from_binary(binary: &LinkedBinary) -> Self {
+        let mut intervals = Vec::new();
+        let mut func_symbols = Vec::new();
+        for f in &binary.bb_addr_map.functions {
+            let func_idx = func_symbols.len() as u32;
+            let mut any = false;
+            for (range_sym, entries) in &f.ranges {
+                let Some(base) = binary.symbol(range_sym) else {
+                    continue;
+                };
+                any = true;
+                for e in entries {
+                    intervals.push(Interval {
+                        start: base + e.offset as u64,
+                        end: base + e.offset as u64 + e.size as u64,
+                        func_idx,
+                        bb_id: e.bb_id,
+                    });
+                }
+            }
+            if any {
+                func_symbols.push(f.func_symbol.clone());
+            }
+        }
+        intervals.sort_by_key(|i| i.start);
+        AddressMapper {
+            intervals,
+            func_symbols,
+        }
+    }
+
+    /// Resolves an address to its block, if any block covers it.
+    pub fn lookup(&self, addr: u64) -> Option<MappedLoc> {
+        let idx = self.intervals.partition_point(|i| i.start <= addr);
+        let iv = &self.intervals[..idx].last()?;
+        if addr < iv.end {
+            Some(MappedLoc {
+                func_symbol: self.func_symbols[iv.func_idx as usize].clone(),
+                bb_id: iv.bb_id,
+                offset_in_block: (addr - iv.start) as u32,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Resolves to indices (cheaper form used by the DCFG builder):
+    /// `(function index, bb id)`.
+    pub fn lookup_idx(&self, addr: u64) -> Option<(u32, u32)> {
+        let idx = self.intervals.partition_point(|i| i.start <= addr);
+        let iv = &self.intervals[..idx].last()?;
+        (addr < iv.end).then_some((iv.func_idx, iv.bb_id))
+    }
+
+    /// All blocks whose start lies within `[lo, hi]`, as
+    /// `(function index, bb id)` pairs — used to credit fall-through
+    /// ranges.
+    pub fn blocks_starting_in(&self, lo: u64, hi: u64) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let from = self.intervals.partition_point(|i| i.start < lo);
+        self.intervals[from..]
+            .iter()
+            .take_while(move |i| i.start <= hi)
+            .map(|i| (i.func_idx, i.bb_id))
+    }
+
+    /// The function symbol for a function index.
+    pub fn func_symbol(&self, idx: u32) -> &str {
+        &self.func_symbols[idx as usize]
+    }
+
+    /// The function index for a symbol, if mapped.
+    pub fn func_index(&self, symbol: &str) -> Option<u32> {
+        self.func_symbols
+            .iter()
+            .position(|s| s == symbol)
+            .map(|i| i as u32)
+    }
+
+    /// Number of functions with mappable blocks.
+    pub fn num_functions(&self) -> usize {
+        self.func_symbols.len()
+    }
+
+    /// Number of block intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Modeled memory of the interval table (the dominant Phase 3
+    /// structure besides the DCFG): ~32 bytes per interval.
+    pub fn modeled_memory_bytes(&self) -> u64 {
+        (self.intervals.len() * 32) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_codegen::{codegen_module, CodegenOptions};
+    use propeller_ir::{FunctionBuilder, Inst, ProgramBuilder, Terminator};
+    use propeller_linker::{link, LinkInput, LinkOptions};
+
+    fn metadata_binary() -> LinkedBinary {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m.cc");
+        let mut f = FunctionBuilder::new("alpha");
+        f.add_block(vec![Inst::Alu; 3], Terminator::Jump(propeller_ir::BlockId(1)));
+        f.add_block(vec![Inst::Load], Terminator::Ret);
+        pb.add_function(m, f);
+        let mut g = FunctionBuilder::new("beta");
+        g.add_block(vec![Inst::Store; 2], Terminator::Ret);
+        pb.add_function(m, g);
+        let p = pb.finish().unwrap();
+        let r = codegen_module(&p.modules()[0], &p, &CodegenOptions::with_labels()).unwrap();
+        link(
+            &[LinkInput::new(r.object, r.debug_layout)],
+            &LinkOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_finds_blocks_and_offsets() {
+        let bin = metadata_binary();
+        let mapper = AddressMapper::from_binary(&bin);
+        assert_eq!(mapper.num_functions(), 2);
+        assert_eq!(mapper.num_intervals(), 3);
+        let alpha = bin.symbol("alpha").unwrap();
+        let loc = mapper.lookup(alpha).unwrap();
+        assert_eq!(loc.func_symbol, "alpha");
+        assert_eq!(loc.bb_id, 0);
+        assert_eq!(loc.offset_in_block, 0);
+        // Inside bb0 (3 ALUs = 9 bytes).
+        let loc = mapper.lookup(alpha + 5).unwrap();
+        assert_eq!((loc.bb_id, loc.offset_in_block), (0, 5));
+        // bb1 starts at 9.
+        let loc = mapper.lookup(alpha + 9).unwrap();
+        assert_eq!(loc.bb_id, 1);
+    }
+
+    #[test]
+    fn lookup_misses_outside_text() {
+        let bin = metadata_binary();
+        let mapper = AddressMapper::from_binary(&bin);
+        assert!(mapper.lookup(0).is_none());
+        assert!(mapper.lookup(bin.text_end + 100).is_none());
+    }
+
+    #[test]
+    fn blocks_starting_in_range() {
+        let bin = metadata_binary();
+        let mapper = AddressMapper::from_binary(&bin);
+        let alpha = bin.symbol("alpha").unwrap();
+        let beta = bin.symbol("beta").unwrap();
+        let all: Vec<_> = mapper.blocks_starting_in(alpha, beta).collect();
+        assert_eq!(all.len(), 3);
+        let first_two: Vec<_> = mapper.blocks_starting_in(alpha, alpha + 9).collect();
+        assert_eq!(first_two.len(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a tiny program by hand, run the four Propeller
+//! phases, and measure the layout improvement.
+//!
+//! ```text
+//! cargo run -p propeller-examples --bin quickstart
+//! ```
+
+use propeller::{Propeller, PropellerOptions};
+use propeller_examples::print_comparison;
+use propeller_ir::{BlockId, FunctionBuilder, Inst, ProgramBuilder, Terminator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A request handler with a hot fast path and a rarely taken
+    // slow path. Crucially, the *compiler's* layout has the slow path
+    // inline (the PGO profile was stale): exactly the situation
+    // Propeller fixes post-link.
+    let mut pb = ProgramBuilder::new();
+    let module = pb.add_module("server.cc");
+
+    let mut parse = FunctionBuilder::new("parse_request");
+    parse.add_block(vec![Inst::Load; 4], Terminator::Ret);
+    let parse = pb.add_function(module, parse);
+
+    let mut handle = FunctionBuilder::new("handle_request");
+    // bb0: dispatch; the *hot* continuation is the taken target bb2.
+    handle.add_block(
+        vec![Inst::Call(parse), Inst::Alu],
+        Terminator::CondBr {
+            taken: BlockId(2),
+            fallthrough: BlockId(1),
+            prob_taken: 0.97,
+        },
+    );
+    // bb1: slow path (error handling) — sits right in the middle of
+    // the function in the compile-time layout.
+    handle.add_block(vec![Inst::Store; 120], Terminator::Jump(BlockId(3)));
+    // bb2: fast path.
+    handle.add_block(vec![Inst::Alu; 10], Terminator::Jump(BlockId(3)));
+    // bb3: respond.
+    handle.add_block(vec![Inst::Store; 2], Terminator::Ret);
+    let handle = pb.add_function(module, handle);
+
+    let mut driver = FunctionBuilder::new("event_loop");
+    driver.add_block(
+        vec![Inst::Call(handle)],
+        Terminator::CondBr {
+            taken: BlockId(0),
+            fallthrough: BlockId(1),
+            prob_taken: 0.999,
+        },
+    );
+    driver.add_block(Vec::new(), Terminator::Ret);
+    let driver = pb.add_function(module, driver);
+
+    let program = pb.finish()?;
+
+    // Run the pipeline: compile+cache, metadata build, profile + WPA,
+    // relink.
+    let mut pipeline = Propeller::new(program, vec![(driver, 1.0)], PropellerOptions::default());
+    let report = pipeline.run_all()?;
+    println!("pipeline: {report:#?}\n");
+
+    // Compare the optimized binary against the baseline.
+    let eval = pipeline.evaluate(300_000)?;
+    print_comparison("quickstart", &eval.baseline, &eval.optimized);
+
+    // Peek at the layout directives WPA produced.
+    let wpa = pipeline.wpa_output().expect("phase 3 ran");
+    println!("\nglobal symbol order (ld_prof):");
+    for s in wpa.symbol_order.names() {
+        println!("  {s}");
+    }
+    Ok(())
+}

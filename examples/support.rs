@@ -1,0 +1,26 @@
+//! Shared helpers for the runnable examples.
+
+use propeller_sim::CounterSet;
+
+/// Prints a labeled baseline-vs-optimized counter comparison.
+pub fn print_comparison(label: &str, base: &CounterSet, opt: &CounterSet) {
+    println!("== {label} ==");
+    println!(
+        "  cycles          {:>12} -> {:>12}  ({:+.2}% speedup)",
+        base.cycles,
+        opt.cycles,
+        opt.speedup_pct_over(base)
+    );
+    let delta = |name: &str, f: fn(&CounterSet) -> u64| {
+        println!(
+            "  {name:<15} {:>12} -> {:>12}  ({:+.1}%)",
+            f(base),
+            f(opt),
+            opt.delta_pct(base, f)
+        );
+    };
+    delta("taken branches", |c| c.taken_branches);
+    delta("L1i misses", |c| c.l1i_misses);
+    delta("iTLB misses", |c| c.itlb_misses);
+    delta("baclears", |c| c.baclears);
+}

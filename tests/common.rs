@@ -1,0 +1,17 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use propeller_synth::{generate, spec_by_name, GenParams, GeneratedBenchmark};
+
+/// Generates a small, fast benchmark for integration testing.
+pub fn small_benchmark(name: &str, scale: f64, seed: u64) -> GeneratedBenchmark {
+    let spec = spec_by_name(name).expect("known benchmark");
+    generate(
+        &spec,
+        &GenParams {
+            scale,
+            seed,
+            funcs_per_module: 12,
+            entry_points: 3,
+        },
+    )
+}

@@ -1,0 +1,85 @@
+//! Cross-crate end-to-end tests: the whole system on generated
+//! benchmarks, asserting the paper's headline claims hold at test
+//! scale.
+
+use propeller::{Propeller, PropellerOptions};
+use propeller_integration_tests::small_benchmark;
+
+#[test]
+fn propeller_improves_every_open_source_benchmark() {
+    for (name, scale) in [("clang", 0.004), ("mysql", 0.005)] {
+        let g = small_benchmark(name, scale, 77);
+        let mut p = Propeller::new(g.program, g.entries, PropellerOptions::default());
+        p.run_all().unwrap();
+        let eval = p.evaluate(250_000).unwrap();
+        assert!(
+            eval.speedup_pct() > 0.0,
+            "{name}: expected speedup, got {:.2}%",
+            eval.speedup_pct()
+        );
+        assert!(
+            eval.optimized.taken_branches < eval.baseline.taken_branches,
+            "{name}: taken branches must drop"
+        );
+    }
+}
+
+#[test]
+fn warehouse_app_runs_within_distributed_memory_limits() {
+    // The whole point of Propeller: every phase fits the distributed
+    // build's per-action limit (run_all would return
+    // BuildError::ActionOverMemoryLimit otherwise, since the default
+    // machine is the distributed one).
+    let g = small_benchmark("spanner", 0.0008, 3);
+    let mut p = Propeller::new(g.program, g.entries, PropellerOptions::default());
+    let report = p.run_all().unwrap();
+    assert!(report.times.phase3.max_action_memory > 0);
+    assert!(report.times.phase3.max_action_memory < 12 * (1 << 30));
+}
+
+#[test]
+fn optimized_binary_preserves_program_semantics_proxy() {
+    // The simulator retires work according to the CFG, independent of
+    // layout; baseline and optimized runs must execute the same blocks
+    // (same seed, same workload). Instruction counts may differ only
+    // by the branch instructions layout adds/removes.
+    let g = small_benchmark("541.leela", 0.3, 5);
+    let mut p = Propeller::new(g.program, g.entries, PropellerOptions::default());
+    p.run_all().unwrap();
+    let eval = p.evaluate(150_000).unwrap();
+    assert_eq!(eval.baseline.blocks, eval.optimized.blocks);
+    let drift = (eval.optimized.insts as f64 - eval.baseline.insts as f64).abs()
+        / eval.baseline.insts as f64;
+    assert!(drift < 0.15, "instruction drift {drift}");
+}
+
+#[test]
+fn phase_times_and_cache_behavior_are_consistent() {
+    let g = small_benchmark("502.gcc", 0.03, 11);
+    let n_modules = g.program.num_modules();
+    let mut p = Propeller::new(g.program, g.entries, PropellerOptions::default());
+    let report = p.run_all().unwrap();
+    // Phase 2 ran one codegen action per module plus the link.
+    assert_eq!(report.times.phase2.num_actions, n_modules + 1);
+    // Phase 4 re-ran only hot modules.
+    let hot = (report.hot_module_fraction * n_modules as f64).round() as usize;
+    assert_eq!(report.times.phase4.num_actions, hot + 1);
+    assert!(hot < n_modules);
+    // Cold objects were cache hits.
+    assert_eq!(report.object_cache.hits as usize, n_modules - hot);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let g = small_benchmark("557.xz", 0.4, 13);
+        let mut p = Propeller::new(g.program, g.entries, PropellerOptions::default());
+        p.run_all().unwrap();
+        let e = p.evaluate(100_000).unwrap();
+        (e.baseline, e.optimized)
+    };
+    let (b1, o1) = run();
+    let (b2, o2) = run();
+    assert_eq!(b1, b2);
+    assert_eq!(o1, o2);
+}

@@ -1,0 +1,352 @@
+//! Property-based tests over the core data structures and invariants.
+
+use propeller_codegen::isa::decode;
+use propeller_codegen::{codegen_module, CodegenOptions};
+use propeller_ir::{BlockId, FunctionBuilder, Inst, Program, ProgramBuilder, Terminator};
+use propeller_linker::{link, LinkInput, LinkOptions, SymbolOrdering};
+use propeller_obj::{BbAddrMap, BbEntry, BbFlags, ContentHash, FuncAddrMap};
+use propeller_wpa::exttsp::{order_nodes, score_layout, Edge, ExtTspParams, Node};
+use proptest::prelude::*;
+
+/// Strategy: a random well-formed function of up to 8 blocks.
+fn arb_function(idx: usize) -> impl Strategy<Value = Vec<(Vec<Inst>, u8, u8, u8)>> {
+    // Per block: (insts, kind, target_a, target_b); targets are mapped
+    // into range post hoc.
+    prop::collection::vec(
+        (
+            prop::collection::vec(
+                prop_oneof![
+                    Just(Inst::Alu),
+                    Just(Inst::Load),
+                    Just(Inst::Store),
+                    Just(Inst::Nop)
+                ],
+                0..6,
+            ),
+            0u8..3,
+            any::<u8>(),
+            any::<u8>(),
+        ),
+        1..8,
+    )
+    .prop_map(move |v| {
+        let _ = idx;
+        v
+    })
+}
+
+/// Builds a valid program from the raw strategy output.
+fn build_program(raw: Vec<Vec<(Vec<Inst>, u8, u8, u8)>>) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let m = pb.add_module("prop.cc");
+    for (fi, blocks) in raw.into_iter().enumerate() {
+        let n = blocks.len() as u32;
+        let mut fb = FunctionBuilder::new(format!("pf{fi}"));
+        for (bi, (insts, kind, a, b)) in blocks.into_iter().enumerate() {
+            let bi = bi as u32;
+            let term = if bi == n - 1 {
+                Terminator::Ret
+            } else {
+                match kind {
+                    0 => Terminator::Jump(BlockId(a as u32 % n)),
+                    1 => Terminator::CondBr {
+                        taken: BlockId(a as u32 % n),
+                        fallthrough: BlockId(b as u32 % n),
+                        prob_taken: (a as f64 % 100.0) / 100.0,
+                    },
+                    _ => Terminator::Ret,
+                }
+            };
+            fb.add_block(insts, term);
+        }
+        pb.add_function(m, fb);
+    }
+    pb.finish().expect("construction is valid by design")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn content_hash_concat_equals_parts(a in prop::collection::vec(any::<u8>(), 0..64),
+                                        b in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut whole = a.clone();
+        whole.extend_from_slice(&b);
+        prop_assert_eq!(
+            ContentHash::of_bytes(&whole),
+            ContentHash::of_parts([a.as_slice(), b.as_slice()])
+        );
+    }
+
+    #[test]
+    fn bb_addr_map_round_trips(entries in prop::collection::vec(
+        (any::<u32>(), 0u32..1_000_000, 0u32..10_000, 0u8..8), 0..40))
+    {
+        let map = BbAddrMap {
+            functions: vec![FuncAddrMap {
+                func_symbol: "f".into(),
+                ranges: vec![(
+                    "f".into(),
+                    entries
+                        .into_iter()
+                        .map(|(id, off, size, flags)| BbEntry {
+                            bb_id: id,
+                            offset: off,
+                            size,
+                            flags: BbFlags(flags),
+                        })
+                        .collect(),
+                )],
+            }],
+        };
+        prop_assert_eq!(BbAddrMap::decode(&map.encode()).unwrap(), map);
+    }
+
+    #[test]
+    fn exttsp_produces_entry_first_permutation(
+        sizes in prop::collection::vec(1u32..64, 2..24),
+        raw_edges in prop::collection::vec((any::<u16>(), any::<u16>(), 1u64..1000), 0..48),
+    ) {
+        let n = sizes.len() as u32;
+        let nodes: Vec<Node> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Node { id: i as u32, size: s, count: (i as u64 * 13) % 50 })
+            .collect();
+        let edges: Vec<Edge> = raw_edges
+            .into_iter()
+            .map(|(s, d, w)| Edge { src: s as u32 % n, dst: d as u32 % n, weight: w })
+            .collect();
+        let params = ExtTspParams::default();
+        let order = order_nodes(&nodes, &edges, 0, &params);
+        prop_assert_eq!(order.len(), nodes.len());
+        prop_assert_eq!(order[0], 0, "entry must stay first");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        // Never worse than the original order.
+        let original: Vec<u32> = (0..n).collect();
+        prop_assert!(
+            score_layout(&order, &nodes, &edges, &params) + 1e-6
+                >= score_layout(&original, &nodes, &edges, &params)
+        );
+    }
+
+    #[test]
+    fn random_programs_link_and_decode(raw in prop::collection::vec(arb_function(0), 1..5)) {
+        let program = build_program(raw);
+        let inputs: Vec<LinkInput> = program
+            .modules()
+            .iter()
+            .map(|m| {
+                let r = codegen_module(m, &program, &CodegenOptions::with_labels()).unwrap();
+                LinkInput::new(r.object, r.debug_layout)
+            })
+            .collect();
+        let bin = link(&inputs, &LinkOptions::default()).unwrap();
+        // The text image decodes as a clean instruction stream.
+        let mut addr = bin.text_start;
+        while addr < bin.text_end {
+            let bytes = bin.read(addr, (bin.text_end - addr).min(8) as usize).unwrap();
+            let d = decode(bytes);
+            prop_assert!(d.is_some(), "undecodable byte at {:#x}", addr);
+            addr += d.unwrap().len() as u64;
+        }
+        // Layout covers every block, blocks do not overlap.
+        let mut spans: Vec<(u64, u64)> = bin
+            .layout
+            .functions
+            .iter()
+            .flat_map(|f| f.blocks.iter().map(|b| (b.addr, b.addr + b.size as u64)))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlapping blocks {:?}", w);
+        }
+    }
+
+    #[test]
+    fn relaxation_never_grows_text(raw in prop::collection::vec(arb_function(0), 1..4)) {
+        let program = build_program(raw);
+        // Split every function: all blocks beyond the entry go to a
+        // cold cluster (a stress layout).
+        let mut map = propeller_codegen::ClusterMap::new();
+        let mut order = SymbolOrdering::default();
+        for f in program.functions() {
+            let blocks: Vec<BlockId> = (0..f.num_blocks() as u32).map(BlockId).collect();
+            let (hot, cold) = blocks.split_at(1);
+            map.insert(
+                f.id,
+                propeller_codegen::FunctionClusters::hot_cold(hot.to_vec(), cold.to_vec()),
+            );
+            order.push(f.name.clone());
+        }
+        for f in program.functions() {
+            if f.num_blocks() > 1 {
+                order.push(format!("{}.cold", f.name));
+            }
+        }
+        let inputs: Vec<LinkInput> = program
+            .modules()
+            .iter()
+            .map(|m| {
+                let r = codegen_module(m, &program, &CodegenOptions::with_clusters(map.clone()))
+                    .unwrap();
+                LinkInput::new(r.object, r.debug_layout)
+            })
+            .collect();
+        let unrelaxed = link(
+            &inputs,
+            &LinkOptions {
+                symbol_order: Some(order.clone()),
+                relax: false,
+                ..LinkOptions::default()
+            },
+        )
+        .unwrap();
+        let relaxed = link(
+            &inputs,
+            &LinkOptions {
+                symbol_order: Some(order),
+                relax: true,
+                ..LinkOptions::default()
+            },
+        )
+        .unwrap();
+        prop_assert!(relaxed.stats.text_bytes <= unrelaxed.stats.text_bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Semantic preservation: in a split + reordered + relaxed binary,
+    /// every decoded control transfer must land exactly on a block
+    /// start (or function entry) of the final layout.
+    #[test]
+    fn relaxed_branches_hit_block_starts(raw in prop::collection::vec(arb_function(0), 1..4)) {
+        use propeller_codegen::isa::{decode, Decoded};
+        let program = build_program(raw);
+        let mut map = propeller_codegen::ClusterMap::new();
+        let mut order = SymbolOrdering::default();
+        for f in program.functions() {
+            let blocks: Vec<BlockId> = (0..f.num_blocks() as u32).map(BlockId).collect();
+            let (hot, cold) = blocks.split_at(blocks.len().div_ceil(2));
+            map.insert(
+                f.id,
+                propeller_codegen::FunctionClusters::hot_cold(hot.to_vec(), cold.to_vec()),
+            );
+            order.push(f.name.clone());
+        }
+        for f in program.functions() {
+            if f.num_blocks() > 1 {
+                order.push(format!("{}.cold", f.name));
+            }
+        }
+        let inputs: Vec<LinkInput> = program
+            .modules()
+            .iter()
+            .map(|m| {
+                let r = codegen_module(m, &program, &CodegenOptions::with_clusters(map.clone()))
+                    .unwrap();
+                LinkInput::new(r.object, r.debug_layout)
+            })
+            .collect();
+        let bin = link(
+            &inputs,
+            &LinkOptions {
+                symbol_order: Some(order),
+                relax: true,
+                ..LinkOptions::default()
+            },
+        )
+        .unwrap();
+        let starts: std::collections::HashSet<u64> = bin
+            .layout
+            .functions
+            .iter()
+            .flat_map(|f| f.blocks.iter().map(|b| b.addr))
+            .collect();
+        let mut addr = bin.text_start;
+        while addr < bin.text_end {
+            let bytes = bin.read(addr, (bin.text_end - addr).min(8) as usize).unwrap();
+            let d = decode(bytes).expect("valid stream");
+            let next = addr + d.len() as u64;
+            match d {
+                Decoded::Jump { disp, .. }
+                | Decoded::CondBr { disp, .. }
+                | Decoded::Call { disp, .. } => {
+                    let target = (next as i64 + disp) as u64;
+                    prop_assert!(
+                        starts.contains(&target),
+                        "transfer at {addr:#x} targets {target:#x}, not a block start"
+                    );
+                }
+                _ => {}
+            }
+            addr = next;
+        }
+    }
+
+    /// Greedy Ext-TSP reaches a large fraction of the brute-force
+    /// optimal score on small graphs.
+    #[test]
+    fn exttsp_near_optimal_on_small_graphs(
+        sizes in prop::collection::vec(4u32..40, 3..7),
+        raw_edges in prop::collection::vec((any::<u8>(), any::<u8>(), 1u64..100), 1..12),
+    ) {
+        let n = sizes.len() as u32;
+        let nodes: Vec<Node> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Node { id: i as u32, size: s, count: 1 })
+            .collect();
+        let edges: Vec<Edge> = raw_edges
+            .into_iter()
+            .map(|(s, d, w)| Edge { src: s as u32 % n, dst: d as u32 % n, weight: w })
+            .collect();
+        let params = ExtTspParams::default();
+        let greedy = score_layout(
+            &order_nodes(&nodes, &edges, 0, &params),
+            &nodes,
+            &edges,
+            &params,
+        );
+        // Brute force over permutations keeping node 0 first.
+        let rest: Vec<u32> = (1..n).collect();
+        let mut best = f64::MIN;
+        let mut perm = rest.clone();
+        // Heap's algorithm, iterative.
+        let k = perm.len();
+        let mut c = vec![0usize; k];
+        let mut eval = |p: &[u32], best: &mut f64| {
+            let mut full = vec![0u32];
+            full.extend_from_slice(p);
+            let s = score_layout(&full, &nodes, &edges, &params);
+            if s > *best {
+                *best = s;
+            }
+        };
+        eval(&perm, &mut best);
+        let mut i = 0;
+        while i < k {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                eval(&perm, &mut best);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        prop_assert!(
+            greedy + 1e-9 >= 0.80 * best,
+            "greedy {greedy} vs optimal {best}"
+        );
+    }
+}
