@@ -1,0 +1,92 @@
+//! Build actions and per-phase execution reports.
+
+/// One schedulable unit of build work: a compile, a codegen, a link,
+/// an analysis run.
+///
+/// Actions declare their resource needs up front — the distributed
+/// build admits an action only if its declared peak RSS fits the
+/// per-action memory limit (§2.1).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ActionSpec {
+    /// Human-readable action name (e.g. `"codegen rpc_17.cc"`).
+    pub name: String,
+    /// CPU seconds the action consumes on one worker.
+    pub cpu_secs: f64,
+    /// Peak resident-set bytes the action needs while running.
+    pub peak_rss_bytes: u64,
+}
+
+impl ActionSpec {
+    /// Creates an action consuming `cpu_secs` of CPU with the given
+    /// peak RSS.
+    pub fn new(name: impl Into<String>, cpu_secs: f64, peak_rss_bytes: u64) -> Self {
+        ActionSpec {
+            name: name.into(),
+            cpu_secs,
+            peak_rss_bytes,
+        }
+    }
+}
+
+/// What one [`crate::Executor::run_phase`] call cost (the Table 5 /
+/// Fig. 9 accounting unit).
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct PhaseReport {
+    /// Modeled wall-clock seconds for the phase.
+    pub wall_secs: f64,
+    /// Total CPU seconds across all of the phase's actions.
+    pub cpu_secs: f64,
+    /// Actions executed (cache hits never become actions).
+    pub num_actions: usize,
+    /// Largest single-action peak RSS in the phase — the number the
+    /// per-action limit is compared against, and the paper's Fig. 4
+    /// y-axis.
+    pub max_action_memory: u64,
+}
+
+impl PhaseReport {
+    /// The report of running this phase and then `next`: wall and CPU
+    /// time accumulate, the memory high-water mark is the max.
+    pub fn then(&self, next: &PhaseReport) -> PhaseReport {
+        PhaseReport {
+            wall_secs: self.wall_secs + next.wall_secs,
+            cpu_secs: self.cpu_secs + next.cpu_secs,
+            num_actions: self.num_actions + next.num_actions,
+            max_action_memory: self.max_action_memory.max(next.max_action_memory),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn then_accumulates_time_and_maxes_memory() {
+        let a = PhaseReport {
+            wall_secs: 2.0,
+            cpu_secs: 10.0,
+            num_actions: 4,
+            max_action_memory: 512,
+        };
+        let b = PhaseReport {
+            wall_secs: 1.5,
+            cpu_secs: 1.5,
+            num_actions: 1,
+            max_action_memory: 2048,
+        };
+        let c = a.then(&b);
+        assert_eq!(c.num_actions, 5);
+        assert_eq!(c.max_action_memory, 2048);
+        assert!((c.wall_secs - 3.5).abs() < 1e-12);
+        assert!((c.cpu_secs - 11.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn action_spec_new_fills_fields() {
+        let a = ActionSpec::new("link app", 3.25, 1 << 30);
+        assert_eq!(a.name, "link app");
+        assert_eq!(a.peak_rss_bytes, 1 << 30);
+        assert!((a.cpu_secs - 3.25).abs() < 1e-12);
+    }
+}

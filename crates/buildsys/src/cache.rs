@@ -1,0 +1,167 @@
+//! The content-addressed action cache.
+//!
+//! The distributed build system caches every action's outputs under
+//! the hash of its inputs (§2.1). A later build whose action inputs
+//! are unchanged retrieves the artifact instead of re-running the
+//! action — across successive releases of a warehouse-scale
+//! application the observed hit rate exceeds 90%, which is what makes
+//! Propeller's Phase 4 "regenerate only the hot modules" cheap: every
+//! cold object is a cache hit.
+
+use propeller_obj::ContentHash;
+use std::collections::HashMap;
+
+/// Cumulative cache counters.
+///
+/// Invariant: `hits + misses == lookups` ([`ActionCache::get_or_compute`]
+/// counts as one lookup).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Total lookups served (including the implicit lookup of
+    /// `get_or_compute`).
+    pub lookups: u64,
+    /// Lookups that found an artifact.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Artifacts stored (an insert over an existing key counts too).
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of lookups (`0.0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A content-addressed cache from input hashes to artifacts of type
+/// `T`.
+///
+/// `T` is whatever a build action produces — an IR fingerprint, a
+/// shared object-file artifact — and is returned by clone, so sharable
+/// artifacts are usually stored as `Arc<..>`.
+#[derive(Clone, Debug)]
+pub struct ActionCache<T> {
+    map: HashMap<ContentHash, T>,
+    stats: CacheStats,
+}
+
+impl<T> Default for ActionCache<T> {
+    fn default() -> Self {
+        ActionCache {
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+impl<T> ActionCache<T> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Stores `value` under `key`, replacing any previous artifact
+    /// (identical inputs produce identical outputs, so a replacement
+    /// only ever happens when two racing builds computed the same
+    /// thing).
+    pub fn insert(&mut self, key: ContentHash, value: T) {
+        self.stats.insertions += 1;
+        self.map.insert(key, value);
+    }
+}
+
+impl<T: Clone> ActionCache<T> {
+    /// Looks up `key`, counting a hit or a miss.
+    pub fn lookup(&mut self, key: ContentHash) -> Option<T> {
+        self.stats.lookups += 1;
+        match self.map.get(&key) {
+            Some(v) => {
+                self.stats.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns the cached artifact for `key`, or computes, stores and
+    /// returns it. The boolean is `true` on a cache hit.
+    pub fn get_or_compute(&mut self, key: ContentHash, compute: impl FnOnce() -> T) -> (T, bool) {
+        match self.lookup(key) {
+            Some(v) => (v, true),
+            None => {
+                let v = compute();
+                self.insert(key, v.clone());
+                (v, false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> ContentHash {
+        ContentHash::of_bytes(&n.to_le_bytes())
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut c = ActionCache::new();
+        assert_eq!(c.lookup(key(1)), None);
+        c.insert(key(1), "artifact");
+        assert_eq!(c.lookup(key(1)), Some("artifact"));
+        assert_eq!(c.lookup(key(2)), None);
+        let s = c.stats();
+        assert_eq!((s.lookups, s.hits, s.misses, s.insertions), (3, 1, 2, 1));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_or_compute_is_idempotent() {
+        let mut c = ActionCache::new();
+        let mut calls = 0;
+        let (v, hit) = c.get_or_compute(key(7), || {
+            calls += 1;
+            42
+        });
+        assert_eq!((v, hit, calls), (42, false, 1));
+        let (v, hit) = c.get_or_compute(key(7), || {
+            calls += 1;
+            unreachable!("cached key must not recompute")
+        });
+        assert_eq!((v, hit, calls), (42, true, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn empty_cache_reports_zero_hit_rate() {
+        let c: ActionCache<u32> = ActionCache::new();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! The build-action cost model.
+//!
+//! Converts work sizes (instructions compiled, bytes linked, profile
+//! bytes converted, dynamic-CFG edges analyzed, text bytes
+//! disassembled) into modeled CPU seconds. The rates are calibrated so
+//! full-scale extrapolations land in the regime the paper reports
+//! (Table 5, Fig. 9): warehouse-scale links take tens of seconds,
+//! profile conversion takes minutes on multi-gigabyte profiles, and
+//! BOLT's disassemble-everything pass scales with text size while
+//! Propeller's relink does not.
+
+/// Per-unit CPU-cost rates for every kind of build action.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct CostModel {
+    /// Frontend + middle-end seconds per IR instruction (Phase 1).
+    pub compile_secs_per_inst: f64,
+    /// Backend codegen seconds per IR instruction (Phases 2 and 4).
+    pub codegen_secs_per_inst: f64,
+    /// Link seconds per input byte.
+    pub link_secs_per_byte: f64,
+    /// Profile-conversion seconds per raw profile byte (Phase 3).
+    pub profile_conversion_secs_per_byte: f64,
+    /// Whole-program-analysis seconds per dynamic-CFG edge (Phase 3).
+    pub wpa_secs_per_edge: f64,
+    /// Disassembly seconds per text byte (BOLT's mandatory first
+    /// step; Propeller never pays this).
+    pub disassembly_secs_per_byte: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            compile_secs_per_inst: 3.0e-4,
+            codegen_secs_per_inst: 2.0e-4,
+            link_secs_per_byte: 4.0e-8,
+            profile_conversion_secs_per_byte: 1.0e-7,
+            wpa_secs_per_edge: 1.0e-6,
+            disassembly_secs_per_byte: 4.0e-8,
+        }
+    }
+}
+
+impl CostModel {
+    /// CPU seconds to compile `insts` IR instructions to optimized IR.
+    pub fn compile_secs(&self, insts: u64) -> f64 {
+        insts as f64 * self.compile_secs_per_inst
+    }
+
+    /// CPU seconds of backend code generation for `insts` instructions.
+    pub fn codegen_secs(&self, insts: u64) -> f64 {
+        insts as f64 * self.codegen_secs_per_inst
+    }
+
+    /// CPU seconds to link `input_bytes` of object-file input.
+    pub fn link_secs(&self, input_bytes: u64) -> f64 {
+        input_bytes as f64 * self.link_secs_per_byte
+    }
+
+    /// CPU seconds to convert `raw_bytes` of raw LBR profile into
+    /// aggregated branch counters.
+    pub fn profile_conversion_secs(&self, raw_bytes: u64) -> f64 {
+        raw_bytes as f64 * self.profile_conversion_secs_per_byte
+    }
+
+    /// CPU seconds of whole-program analysis over `dcfg_edges` dynamic
+    /// CFG edges.
+    pub fn wpa_secs(&self, dcfg_edges: u64) -> f64 {
+        dcfg_edges as f64 * self.wpa_secs_per_edge
+    }
+
+    /// CPU seconds to disassemble `text_bytes` of machine code.
+    pub fn disassembly_secs(&self, text_bytes: u64) -> f64 {
+        text_bytes as f64 * self.disassembly_secs_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_are_linear_in_work() {
+        let c = CostModel::default();
+        assert!((c.codegen_secs(2_000) - 2.0 * c.codegen_secs(1_000)).abs() < 1e-12);
+        assert!((c.link_secs(1 << 30) - 2.0 * c.link_secs(1 << 29)).abs() < 1e-12);
+        assert_eq!(c.wpa_secs(0), 0.0);
+    }
+
+    #[test]
+    fn compile_costs_more_than_codegen() {
+        // Phase 1 (frontend + middle-end optimization) dominates the
+        // backend run — that ordering is what makes Propeller's
+        // "rerun only backends" phase cheap relative to a full build.
+        let c = CostModel::default();
+        assert!(c.compile_secs(1_000_000) > c.codegen_secs(1_000_000));
+    }
+}

@@ -1,0 +1,66 @@
+//! Build system failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// A failure of the (simulated) distributed build system.
+///
+/// The only way a well-formed action can fail is by asking for more
+/// resources than the infrastructure grants a single action — the
+/// paper's 12 GB per-action ceiling (§2.1) that keeps monolithic
+/// rewriters like BOLT off the distributed build.
+#[derive(Clone, PartialEq, Debug)]
+pub enum BuildError {
+    /// An action declared a peak RSS above the machine's per-action
+    /// memory limit and was rejected before being scheduled.
+    ActionOverMemoryLimit {
+        /// Name of the rejected action.
+        action: String,
+        /// Bytes the action would have needed.
+        needed_bytes: u64,
+        /// The per-action limit in force.
+        limit_bytes: u64,
+    },
+}
+
+fn gib(bytes: u64) -> f64 {
+    bytes as f64 / crate::GIB as f64
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ActionOverMemoryLimit {
+                action,
+                needed_bytes,
+                limit_bytes,
+            } => write!(
+                f,
+                "action `{action}` needs {:.1} GiB but the per-action memory limit is {:.1} GiB",
+                gib(*needed_bytes),
+                gib(*limit_bytes)
+            ),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GIB;
+
+    #[test]
+    fn display_names_action_and_both_sizes() {
+        let e = BuildError::ActionOverMemoryLimit {
+            action: "llvm-bolt".into(),
+            needed_bytes: 36 * GIB,
+            limit_bytes: 12 * GIB,
+        };
+        let s = e.to_string();
+        assert!(s.contains("llvm-bolt"), "{s}");
+        assert!(s.contains("36.0 GiB"), "{s}");
+        assert!(s.contains("12.0 GiB"), "{s}");
+    }
+}

@@ -1,0 +1,202 @@
+//! The phase executor: admission control plus a wall-clock model for
+//! distributed and workstation builds.
+
+use crate::{ActionSpec, BuildError, PhaseReport, GIB};
+
+/// Where a build's actions run.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum MachineConfig {
+    /// The warehouse distributed build system (§2.1): effectively
+    /// unbounded independent workers, one action per worker, but a
+    /// hard per-action memory ceiling and a fixed scheduling/dispatch
+    /// overhead per phase.
+    Distributed {
+        /// Per-action peak-RSS limit in bytes (the paper's 12 GB).
+        ram_limit: u64,
+        /// Scheduler dispatch overhead added to each phase's
+        /// wall-clock.
+        dispatch_secs: f64,
+    },
+    /// A single developer workstation: actions run back to back on one
+    /// machine, with no per-action admission limit (this is where
+    /// monolithic tools like BOLT live).
+    Workstation,
+}
+
+impl MachineConfig {
+    /// The default distributed build: 12 GiB per-action limit, 2 s
+    /// dispatch overhead.
+    pub fn distributed() -> Self {
+        MachineConfig::Distributed {
+            ram_limit: 12 * GIB,
+            dispatch_secs: 2.0,
+        }
+    }
+
+    /// A workstation build.
+    pub fn workstation() -> Self {
+        MachineConfig::Workstation
+    }
+
+    /// The per-action memory limit, if this machine enforces one.
+    pub fn ram_limit(&self) -> Option<u64> {
+        match self {
+            MachineConfig::Distributed { ram_limit, .. } => Some(*ram_limit),
+            MachineConfig::Workstation => None,
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::distributed()
+    }
+}
+
+/// Runs phases of independent actions on a [`MachineConfig`].
+///
+/// The executor does two things: *admission control* (every action's
+/// declared peak RSS is checked against the machine's per-action
+/// limit before anything is scheduled) and *time accounting*. Actions
+/// handed to one [`run_phase`](Executor::run_phase) call are
+/// independent by construction — the pipeline only batches actions
+/// with no mutual data dependencies — so the distributed critical
+/// path is the single longest action.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    machine: MachineConfig,
+}
+
+impl Executor {
+    /// Creates an executor for `machine`.
+    pub fn new(machine: MachineConfig) -> Self {
+        Executor { machine }
+    }
+
+    /// The machine this executor schedules onto.
+    pub fn machine(&self) -> MachineConfig {
+        self.machine
+    }
+
+    /// Executes one phase of independent actions.
+    ///
+    /// Wall-clock:
+    /// * distributed — `dispatch_secs + max(action cpu)`: every action
+    ///   gets its own worker, so the phase takes as long as its
+    ///   longest action, plus the scheduler overhead;
+    /// * workstation — `sum(action cpu)`: serial execution.
+    ///
+    /// An empty phase (everything was a cache hit) costs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::ActionOverMemoryLimit`] if any action's
+    /// declared peak RSS exceeds the distributed per-action limit; no
+    /// action of the phase runs in that case.
+    pub fn run_phase(&self, actions: &[ActionSpec]) -> Result<PhaseReport, BuildError> {
+        if let Some(limit) = self.machine.ram_limit() {
+            if let Some(over) = actions.iter().find(|a| a.peak_rss_bytes > limit) {
+                return Err(BuildError::ActionOverMemoryLimit {
+                    action: over.name.clone(),
+                    needed_bytes: over.peak_rss_bytes,
+                    limit_bytes: limit,
+                });
+            }
+        }
+        if actions.is_empty() {
+            return Ok(PhaseReport::default());
+        }
+        let cpu_secs: f64 = actions.iter().map(|a| a.cpu_secs).sum();
+        let critical_path = actions.iter().map(|a| a.cpu_secs).fold(0.0, f64::max);
+        let wall_secs = match self.machine {
+            MachineConfig::Distributed { dispatch_secs, .. } => dispatch_secs + critical_path,
+            MachineConfig::Workstation => cpu_secs,
+        };
+        Ok(PhaseReport {
+            wall_secs,
+            cpu_secs,
+            num_actions: actions.len(),
+            max_action_memory: actions
+                .iter()
+                .map(|a| a.peak_rss_bytes)
+                .max()
+                .unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase() -> Vec<ActionSpec> {
+        vec![
+            ActionSpec::new("a", 1.0, 100),
+            ActionSpec::new("b", 4.0, 300),
+            ActionSpec::new("c", 2.0, 200),
+        ]
+    }
+
+    #[test]
+    fn distributed_wall_is_dispatch_plus_critical_path() {
+        let ex = Executor::new(MachineConfig::Distributed {
+            ram_limit: GIB,
+            dispatch_secs: 2.0,
+        });
+        let r = ex.run_phase(&phase()).unwrap();
+        assert!((r.wall_secs - 6.0).abs() < 1e-12, "2 + max(1,4,2)");
+        assert!((r.cpu_secs - 7.0).abs() < 1e-12);
+        assert_eq!(r.num_actions, 3);
+        assert_eq!(r.max_action_memory, 300);
+    }
+
+    #[test]
+    fn workstation_wall_is_serial_sum() {
+        let ex = Executor::new(MachineConfig::workstation());
+        let r = ex.run_phase(&phase()).unwrap();
+        assert!((r.wall_secs - 7.0).abs() < 1e-12, "1 + 4 + 2 serially");
+    }
+
+    #[test]
+    fn empty_phase_is_free() {
+        let ex = Executor::new(MachineConfig::distributed());
+        let r = ex.run_phase(&[]).unwrap();
+        assert_eq!(r, PhaseReport::default());
+    }
+
+    #[test]
+    fn distributed_rejects_over_limit_action() {
+        let ex = Executor::new(MachineConfig::distributed());
+        let err = ex
+            .run_phase(&[
+                ActionSpec::new("ok", 1.0, GIB),
+                ActionSpec::new("llvm-bolt", 600.0, 36 * GIB),
+            ])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::ActionOverMemoryLimit {
+                action: "llvm-bolt".into(),
+                needed_bytes: 36 * GIB,
+                limit_bytes: 12 * GIB,
+            }
+        );
+    }
+
+    #[test]
+    fn workstation_admits_any_size() {
+        let ex = Executor::new(MachineConfig::workstation());
+        let r = ex
+            .run_phase(&[ActionSpec::new("llvm-bolt", 600.0, 36 * GIB)])
+            .unwrap();
+        assert_eq!(r.max_action_memory, 36 * GIB);
+    }
+
+    #[test]
+    fn exactly_at_limit_is_admitted() {
+        let ex = Executor::new(MachineConfig::distributed());
+        assert!(ex
+            .run_phase(&[ActionSpec::new("edge", 1.0, 12 * GIB)])
+            .is_ok());
+    }
+}

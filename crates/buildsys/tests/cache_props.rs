@@ -1,0 +1,66 @@
+//! Property tests for the action cache's bookkeeping invariants.
+
+use propeller_buildsys::ActionCache;
+use propeller_obj::ContentHash;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every lookup is exactly one hit or one miss, regardless of the
+    /// interleaving of lookups, inserts, and computes.
+    ///
+    /// `ops` drives a random sequence over a small key space (so keys
+    /// repeat and both hits and misses occur): op 0 = lookup,
+    /// op 1 = insert, op 2 = get_or_compute.
+    #[test]
+    fn hits_plus_misses_equals_lookups(
+        ops in prop::collection::vec((0u8..3, 0u8..16, any::<u32>()), 0..200),
+    ) {
+        let mut cache: ActionCache<u32> = ActionCache::new();
+        for (op, key, value) in ops {
+            let key = ContentHash::of_bytes(&[key]);
+            match op {
+                0 => {
+                    cache.lookup(key);
+                }
+                1 => {
+                    cache.insert(key, value);
+                }
+                _ => {
+                    cache.get_or_compute(key, || value);
+                }
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, stats.lookups);
+        prop_assert!(stats.hit_rate() >= 0.0 && stats.hit_rate() <= 1.0);
+    }
+
+    /// A second `get_or_compute` of the same key is a hit returning the
+    /// first computation's value, and never re-runs the closure.
+    #[test]
+    fn get_or_compute_is_idempotent(
+        keys in prop::collection::vec(0u8..24, 1..100),
+    ) {
+        let mut cache: ActionCache<u64> = ActionCache::new();
+        let mut computes = 0u64;
+        for &k in &keys {
+            let key = ContentHash::of_bytes(&[k]);
+            let (v, _hit) = cache.get_or_compute(key, || {
+                computes += 1;
+                k as u64 * 1000
+            });
+            prop_assert_eq!(v, k as u64 * 1000);
+        }
+        let distinct = {
+            let mut s = keys.clone();
+            s.sort_unstable();
+            s.dedup();
+            s.len() as u64
+        };
+        prop_assert_eq!(computes, distinct, "closure ran once per distinct key");
+        prop_assert_eq!(cache.stats().misses, distinct);
+        prop_assert_eq!(cache.stats().hits, keys.len() as u64 - distinct);
+    }
+}

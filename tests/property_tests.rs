@@ -319,7 +319,7 @@ proptest! {
         // Heap's algorithm, iterative.
         let k = perm.len();
         let mut c = vec![0usize; k];
-        let mut eval = |p: &[u32], best: &mut f64| {
+        let eval = |p: &[u32], best: &mut f64| {
             let mut full = vec![0u32];
             full.extend_from_slice(p);
             let s = score_layout(&full, &nodes, &edges, &params);

@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the workspace's `[[bench]]` targets compiling and runnable
+//! without crates.io access. `cargo bench` executes every benchmark
+//! body a handful of times and prints a coarse mean — no statistics,
+//! no HTML reports — which is enough to smoke-test the benches and
+//! eyeball relative cost.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations the stub runs per benchmark (the real crate samples
+/// adaptively).
+const STUB_ITERS: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A fresh driver with default configuration.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one("", id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares the work per iteration (ignored by the stub).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&self.name, id, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id.0, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { elapsed_secs: 0.0 };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!(
+        "bench {label}: {:.3} ms/iter (stub, {} iters)",
+        b.elapsed_secs * 1e3 / STUB_ITERS as f64,
+        STUB_ITERS
+    );
+}
+
+/// Handed to each benchmark body to drive the measured routine.
+pub struct Bencher {
+    elapsed_secs: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed small number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..STUB_ITERS {
+            black_box(routine());
+        }
+        self.elapsed_secs = start.elapsed().as_secs_f64();
+    }
+}
+
+/// A benchmark identifier within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId(format!("{}/{p}", name.into()))
+    }
+}
+
+/// Units of work per iteration, for throughput reporting.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// An opaque identity function that defeats constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("add", |b| b.iter(|| 2 + 2));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::new();
+        sample_bench(&mut c);
+        c.bench_function("free", |b| b.iter(|| 1));
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` with the pre-std-scoped-threads
+//! calling convention (`scope(|s| { s.spawn(|_| ..); })` returning a
+//! `Result`), implemented over `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle whose `spawn` closures receive the scope again,
+    /// mirroring crossbeam's API shape.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's argument is the scope
+        /// itself (crossbeam lets spawned threads spawn siblings).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be
+    /// spawned; all threads are joined before this returns.
+    ///
+    /// Unlike crossbeam, a panicking child propagates its panic here
+    /// (std semantics) instead of surfacing as `Err` — callers that
+    /// `.expect()` the result observe the same failure either way.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

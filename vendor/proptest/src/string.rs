@@ -1,0 +1,199 @@
+//! String strategies from a small regex subset.
+//!
+//! A `&'static str` is itself a strategy (as in the real crate) whose
+//! pattern may use:
+//!
+//! - character classes `[a-z0-9._]` with ranges and literal members,
+//! - repetition `{n}`, `{n,m}`, `*`, `+`, `?`,
+//! - `\\`-escaped literal characters,
+//! - bare literal characters.
+//!
+//! Anchors, alternation, and groups are not supported — the workspace's
+//! patterns don't use them. Unbounded repetitions cap at 8.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Cap applied to `*` and `+` so generation terminates.
+const UNBOUNDED_CAP: u32 = 8;
+
+/// One generatable unit: a set of inclusive char ranges plus a
+/// repetition count range.
+struct Atom {
+    /// Inclusive `(lo, hi)` alternatives, uniformly weighted by span.
+    ranges: Vec<(char, char)>,
+    min_reps: u32,
+    /// Inclusive.
+    max_reps: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges = match c {
+            '[' => {
+                let mut members = Vec::new();
+                loop {
+                    let m = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    if m == ']' {
+                        break;
+                    }
+                    let m = if m == '\\' {
+                        chars.next().expect("dangling escape in class")
+                    } else {
+                        m
+                    };
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            Some(&hi) if hi != ']' => {
+                                chars = ahead;
+                                chars.next();
+                                members.push((m, hi));
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    members.push((m, m));
+                }
+                members
+            }
+            '\\' => {
+                let lit = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                vec![(lit, lit)]
+            }
+            '.' => vec![('a', 'z'), ('0', '9')],
+            _ => vec![(c, c)],
+        };
+        let (min_reps, max_reps) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition lower bound"),
+                        hi.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom {
+            ranges,
+            min_reps,
+            max_reps,
+        });
+    }
+    atoms
+}
+
+fn pick(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+        .sum();
+    let mut idx = rng.u64_in(0, total.max(1));
+    for &(lo, hi) in ranges {
+        let span = hi as u64 - lo as u64 + 1;
+        if idx < span {
+            return char::from_u32(lo as u32 + idx as u32).expect("range within char");
+        }
+        idx -= span;
+    }
+    ranges.first().map(|&(lo, _)| lo).unwrap_or('a')
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(self) {
+            let reps = rng.u64_in(atom.min_reps as u64, atom.max_reps as u64 + 1);
+            for _ in 0..reps {
+                out.push(pick(&atom.ranges, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_match(pattern: &'static str, check: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::deterministic(0);
+        for _ in 0..300 {
+            let s = pattern.generate(&mut rng);
+            assert!(check(&s), "{s:?} violates {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_bounds() {
+        all_match("[a-z]{1,8}", |s| {
+            (1..=8).contains(&s.chars().count())
+                && s.chars().all(|c| c.is_ascii_lowercase())
+        });
+    }
+
+    #[test]
+    fn escaped_literal_suffix() {
+        all_match("[a-z_]{1,12}\\.o", |s| {
+            s.ends_with(".o")
+                && s.len() >= 3
+                && s[..s.len() - 2]
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '_')
+        });
+    }
+
+    #[test]
+    fn leading_dot_member_and_zero_reps() {
+        all_match("[a-z.][a-z0-9._]{0,24}", |s| {
+            let mut cs = s.chars();
+            let first = cs.next().expect("first atom has exactly one rep");
+            (first.is_ascii_lowercase() || first == '.')
+                && cs.all(|c| {
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'
+                })
+        });
+    }
+
+    #[test]
+    fn exact_count() {
+        all_match("[0-9]{3}", |s| {
+            s.len() == 3 && s.chars().all(|c| c.is_ascii_digit())
+        });
+    }
+}
