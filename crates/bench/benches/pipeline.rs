@@ -21,8 +21,10 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("run_all_deepsjeng", |b| {
         b.iter(|| {
-            let mut opts = PropellerOptions::default();
-            opts.profile_budget = 40_000;
+            let opts = PropellerOptions {
+                profile_budget: 40_000,
+                ..PropellerOptions::default()
+            };
             let mut p = Propeller::new(g.program.clone(), g.entries.clone(), opts);
             p.run_all().unwrap()
         });

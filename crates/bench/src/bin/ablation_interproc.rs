@@ -10,11 +10,12 @@
 //! icache/iTLB miss rates down 11%/13%.
 
 use propeller_bench::{runner::run_layout_variants, RunConfig, Table};
+use propeller_telemetry::Telemetry;
 use propeller_wpa::{GlobalOrder, WpaOptions};
-use std::time::Instant;
 
 fn main() {
     let cfg = RunConfig::from_env();
+    let tel = Telemetry::enabled();
     let variants = [
         ("intra-function", WpaOptions::default()),
         ("inter-procedural", WpaOptions::interprocedural()),
@@ -27,9 +28,10 @@ fn main() {
             },
         ),
     ];
-    let start = Instant::now();
-    let (base, results) = run_layout_variants("clang", &cfg, &variants);
-    let _ = start;
+    let (base, results) = {
+        let _span = tel.span("ablation.variants");
+        run_layout_variants("clang", &cfg, &variants)
+    };
 
     let mut t = Table::new(&[
         "config",
@@ -50,18 +52,26 @@ fn main() {
     println!("§4.7 ablation: inter-procedural layout on clang\n");
     println!("{}", t.render());
 
-    // Layout computation time comparison (the 3-10x observation).
-    let timing = |opts: &WpaOptions| -> f64 {
-        let t0 = Instant::now();
+    // Layout computation time comparison (the 3-10x observation),
+    // measured as telemetry spans so the run leaves a trace.
+    let timing = |name: &'static str, opts: &WpaOptions| {
+        let _span = tel.span(name);
         let quick = RunConfig {
             eval_budget: 1_000, // layout time only; evaluation minimal
             ..cfg.clone()
         };
         run_layout_variants("clang", &quick, &[("t", opts.clone())]);
-        t0.elapsed().as_secs_f64()
     };
-    let intra = timing(&WpaOptions::default());
-    let inter = timing(&WpaOptions::interprocedural());
+    timing("layout.intra", &WpaOptions::default());
+    timing("layout.inter", &WpaOptions::interprocedural());
+    let trace = tel.drain();
+    let secs = |name: &str| {
+        trace
+            .find(name)
+            .map(|s| s.dur_us as f64 / 1e6)
+            .unwrap_or(0.0)
+    };
+    let (intra, inter) = (secs("layout.intra"), secs("layout.inter"));
     println!(
         "layout computation wall time: intra {intra:.2}s, inter {inter:.2}s ({:.1}x)",
         inter / intra.max(1e-9)

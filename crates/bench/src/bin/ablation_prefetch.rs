@@ -32,10 +32,12 @@ fn main() {
             },
         );
         let run = |prefetch: Option<u64>| {
-            let mut opts = PropellerOptions::default();
-            opts.prefetch = prefetch;
-            opts.profile_budget = cfg.profile_budget;
-            opts.seed = cfg.seed;
+            let mut opts = PropellerOptions {
+                prefetch,
+                profile_budget: cfg.profile_budget,
+                seed: cfg.seed,
+                ..PropellerOptions::default()
+            };
             if spec.hugepages {
                 opts.uarch = propeller_sim::UarchConfig::with_hugepages();
             }

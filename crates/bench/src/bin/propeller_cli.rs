@@ -5,9 +5,13 @@
 //!     List the available benchmark specs (Table 2).
 //!
 //! propeller_cli run <benchmark> [--scale S] [--seed N] [--out DIR]
+//!                   [--trace-out FILE]
 //!     Generate the benchmark, run the 4-phase pipeline, evaluate
 //!     against the baseline, and (with --out) write cc_prof.txt and
-//!     ld_prof.txt — the two artifacts of Figure 1.
+//!     ld_prof.txt — the two artifacts of Figure 1. With --trace-out,
+//!     record telemetry for the whole run, write a Chrome Trace Event
+//!     Format JSON (load it at chrome://tracing or ui.perfetto.dev)
+//!     and print the span tree and metrics to stdout.
 //!
 //! propeller_cli compare <benchmark> [--scale S] [--seed N]
 //!     Run both Propeller and the BOLT comparator on the same profile
@@ -23,13 +27,14 @@
 use propeller::{Propeller, PropellerOptions};
 use propeller_bench::{run_benchmark, RunConfig};
 use propeller_synth::{all_specs, generate, spec_by_name, GenParams};
+use propeller_telemetry::{chrome::to_chrome_trace, report::render_text, Telemetry};
 use propeller_wpa::cluster_map_to_text;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: propeller_cli <list | run <bench> | compare <bench> | dump <bench> | map <bench>> \
-         [--scale S] [--seed N] [--out DIR]"
+         [--scale S] [--seed N] [--out DIR] [--trace-out FILE]"
     );
     ExitCode::FAILURE
 }
@@ -52,6 +57,7 @@ struct Args {
     scale: Option<f64>,
     seed: u64,
     out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args(mut rest: std::env::Args) -> Option<Args> {
@@ -61,12 +67,14 @@ fn parse_args(mut rest: std::env::Args) -> Option<Args> {
         scale: None,
         seed: 0xA5_2023,
         out: None,
+        trace_out: None,
     };
     while let Some(flag) = rest.next() {
         match flag.as_str() {
             "--scale" => args.scale = Some(rest.next()?.parse().ok()?),
             "--seed" => args.seed = rest.next()?.parse().ok()?,
             "--out" => args.out = Some(rest.next()?),
+            "--trace-out" => args.trace_out = Some(rest.next()?),
             _ => return None,
         }
     }
@@ -115,6 +123,9 @@ fn main() -> ExitCode {
             println!("{}: {}", spec.name, gen.program.stats());
             let mut pipeline =
                 Propeller::new(gen.program, gen.entries, PropellerOptions::default());
+            if args.trace_out.is_some() {
+                pipeline.set_telemetry(Telemetry::enabled());
+            }
             let report = match pipeline.run_all() {
                 Ok(r) => r,
                 Err(e) => {
@@ -123,12 +134,18 @@ fn main() -> ExitCode {
                 }
             };
             println!(
-                "hot functions: {}; hot modules: {:.0}%; cache hits: {}; relaxation: {} jumps deleted, {} branches shrunk",
+                "hot functions: {}; hot modules: {:.0}%; relaxation: {} jumps deleted, {} branches shrunk",
                 report.hot_functions,
                 report.hot_module_fraction * 100.0,
-                report.object_cache.hits,
                 report.deleted_jumps,
                 report.shrunk_branches
+            );
+            println!(
+                "ir cache: {}/{} hits; object cache: {}/{} hits",
+                report.ir_cache.hits,
+                report.ir_cache.lookups,
+                report.object_cache.hits,
+                report.object_cache.lookups
             );
             let eval = pipeline.evaluate(400_000).expect("phases ran");
             println!(
@@ -137,6 +154,15 @@ fn main() -> ExitCode {
                 eval.baseline.cycles,
                 eval.optimized.cycles
             );
+            if let Some(path) = &args.trace_out {
+                let trace = pipeline.telemetry().drain();
+                if let Err(e) = std::fs::write(path, to_chrome_trace(&trace)) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path} (open at chrome://tracing or ui.perfetto.dev)\n");
+                print!("{}", render_text(&trace));
+            }
             if let Some(dir) = args.out {
                 let wpa = pipeline.wpa_output().expect("phase 3 ran");
                 let dir = std::path::Path::new(&dir);
@@ -161,8 +187,10 @@ fn main() -> ExitCode {
             let Some(args) = parse_args(argv) else {
                 return usage();
             };
-            let mut cfg = RunConfig::default();
-            cfg.seed = args.seed;
+            let mut cfg = RunConfig {
+                seed: args.seed,
+                ..RunConfig::default()
+            };
             if let Some(s) = args.scale {
                 cfg.scale_mult = s; // multiplier on the spec default
             }

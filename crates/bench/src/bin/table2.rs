@@ -22,7 +22,7 @@ fn main() {
     ]);
     for spec in all_specs() {
         let mut params = GenParams::for_spec(&spec);
-        if std::env::var("PROPELLER_QUICK").map_or(false, |v| v == "1") {
+        if std::env::var("PROPELLER_QUICK").is_ok_and(|v| v == "1") {
             params.scale *= 0.25;
         }
         let g = generate(&spec, &params);

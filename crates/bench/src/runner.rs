@@ -10,6 +10,7 @@ use propeller_linker::{link, LinkInput, LinkOptions, LinkedBinary};
 use propeller_profile::{HardwareProfile, SamplingConfig};
 use propeller_sim::{simulate, CounterSet, HeatMap, ProgramImage, SimOptions, UarchConfig, Workload};
 use propeller_synth::{generate, spec_by_name, BenchKind, BenchmarkSpec, GenParams};
+use propeller_telemetry::Telemetry;
 use propeller_wpa::WpaStats;
 use std::sync::Arc;
 
@@ -25,6 +26,9 @@ pub struct RunConfig {
     pub eval_budget: u64,
     /// Workload/generation seed.
     pub seed: u64,
+    /// Telemetry handle threaded into the pipeline; disabled by
+    /// default, so uninstrumented runs pay one branch per site.
+    pub tel: Telemetry,
 }
 
 impl Default for RunConfig {
@@ -34,6 +38,7 @@ impl Default for RunConfig {
             profile_budget: 500_000,
             eval_budget: 800_000,
             seed: 0xA5_2023,
+            tel: Telemetry::disabled(),
         }
     }
 }
@@ -43,7 +48,7 @@ impl RunConfig {
     /// runs of the harness binaries.
     pub fn from_env() -> Self {
         let mut cfg = RunConfig::default();
-        if std::env::var("PROPELLER_QUICK").map_or(false, |v| v == "1") {
+        if std::env::var("PROPELLER_QUICK").is_ok_and(|v| v == "1") {
             cfg.scale_mult = 0.25;
             cfg.profile_budget = 80_000;
             cfg.eval_budget = 120_000;
@@ -275,6 +280,7 @@ pub fn run_benchmark(name: &str, cfg: &RunConfig) -> BenchArtifacts {
     };
     let cost = opts.cost;
     let mut pipeline = Propeller::new(gen.program, gen.entries.clone(), opts);
+    pipeline.set_telemetry(cfg.tel.clone());
     let report = pipeline.run_all().expect("pipeline");
     let baseline = pipeline.build_baseline().expect("baseline");
     let profile = pipeline.profile().expect("profiled").clone();

@@ -106,11 +106,10 @@ pub fn reconstruct(d: &DisassembledFunction) -> Option<RecCfg> {
                     leaders.insert(next);
                 }
             }
-            Decoded::Ret => {
-                if next < end {
+            Decoded::Ret
+                if next < end => {
                     leaders.insert(next);
                 }
-            }
             _ => {}
         }
     }

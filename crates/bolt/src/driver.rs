@@ -8,7 +8,8 @@ use crate::rewrite::{rewrite, FunctionPlan};
 use propeller_linker::{FinalLayout, LinkedBinary};
 use propeller_obj::SizeBreakdown;
 use propeller_profile::{AggregatedProfile, HardwareProfile};
-use propeller_wpa::exttsp::{order_nodes, Edge, ExtTspParams, Node};
+use propeller_telemetry::{SpanId, Telemetry};
+use propeller_wpa::exttsp::{order_nodes_traced, Edge, ExtTspParams, Node};
 use std::collections::HashMap;
 
 /// Configuration of the comparator, mirroring the paper's command
@@ -160,6 +161,48 @@ pub fn run_bolt(
     profile: &HardwareProfile,
     opts: &BoltOptions,
 ) -> Result<BoltOutput, BoltError> {
+    run_bolt_traced(binary, profile, opts, &Telemetry::disabled(), None)
+}
+
+/// [`run_bolt`], plus telemetry: a `bolt` span under `parent` (peak
+/// bytes = the larger of the two modeled stage peaks) with stage
+/// children for disassembly, profile conversion, layout planning,
+/// hfsort and rewrite, and counters for decoded instructions and
+/// reconstructed blocks.
+///
+/// # Errors
+///
+/// Same as [`run_bolt`].
+pub fn run_bolt_traced(
+    binary: &LinkedBinary,
+    profile: &HardwareProfile,
+    opts: &BoltOptions,
+    tel: &Telemetry,
+    parent: Option<SpanId>,
+) -> Result<BoltOutput, BoltError> {
+    let mut bolt_span = tel.span_under("bolt", parent);
+    let bolt_id = bolt_span.id();
+    let out = run_bolt_impl(binary, profile, opts, tel, bolt_id)?;
+    if tel.is_enabled() {
+        bolt_span.set_peak_bytes(
+            out.stats
+                .profile_conversion_peak_memory
+                .max(out.stats.optimize_peak_memory),
+        );
+        tel.counter_add("bolt.insts_decoded", out.stats.insts_decoded);
+        tel.counter_add("bolt.blocks_reconstructed", out.stats.blocks_reconstructed);
+        tel.counter_add("bolt.optimized_functions", out.stats.optimized_functions as u64);
+    }
+    Ok(out)
+}
+
+fn run_bolt_impl(
+    binary: &LinkedBinary,
+    profile: &HardwareProfile,
+    opts: &BoltOptions,
+    tel: &Telemetry,
+    bolt_id: Option<SpanId>,
+) -> Result<BoltOutput, BoltError> {
     if binary.size_breakdown.relocs == 0 {
         return Err(BoltError::MissingRelocations);
     }
@@ -170,6 +213,7 @@ pub fn run_bolt(
 
     // Linear disassembly of every discovered function (conversion
     // requires full coverage).
+    let disasm_span = tel.span_under("bolt.disassemble", bolt_id);
     let mut cfgs: Vec<Option<RecCfg>> = Vec::with_capacity(funcs.len());
     let mut stats = BoltStats {
         functions_discovered: funcs.len(),
@@ -188,15 +232,23 @@ pub fn run_bolt(
         }
         cfgs.push(cfg);
     }
+    drop(disasm_span);
 
     // perf2bolt.
-    let agg = AggregatedProfile::from_profile(profile);
-    let prof = convert_profile(&funcs, &cfgs, &agg);
-    stats.profile_conversion_peak_memory = stats.insts_decoded * BYTES_PER_INST_RECORD
-        + agg.modeled_memory_bytes()
-        + profile.raw_size_bytes();
+    let agg;
+    let prof;
+    {
+        let mut s = tel.span_under("bolt.convert_profile", bolt_id);
+        agg = AggregatedProfile::from_profile(profile);
+        prof = convert_profile(&funcs, &cfgs, &agg);
+        stats.profile_conversion_peak_memory = stats.insts_decoded * BYTES_PER_INST_RECORD
+            + agg.modeled_memory_bytes()
+            + profile.raw_size_bytes();
+        s.set_peak_bytes(stats.profile_conversion_peak_memory);
+    }
 
     // Plan per-function layouts.
+    let plan_span = tel.span_under("bolt.plan_layouts", bolt_id);
     let mut plans: Vec<FunctionPlan> = Vec::new();
     let mut opt_insts = 0u64;
     for (fi, cfg) in cfgs.iter().enumerate() {
@@ -230,7 +282,7 @@ pub fn run_bolt(
                 })
                 .collect();
             edges.sort_unstable_by_key(|e| (e.src, e.dst));
-            order_nodes(&nodes, &edges, 0, &ExtTspParams::default())
+            order_nodes_traced(&nodes, &edges, 0, &ExtTspParams::default(), tel)
                 .into_iter()
                 .map(|b| b as usize)
                 .collect()
@@ -252,7 +304,10 @@ pub fn run_bolt(
         });
     }
 
+    drop(plan_span);
+
     // hfsort over the optimized functions.
+    let hfsort_span = tel.span_under("bolt.hfsort", bolt_id);
     let planned: Vec<usize> = plans.iter().map(|p| p.func_idx).collect();
     let func_order: Vec<usize> = if opts.reorder_functions {
         let infos: Vec<FuncInfo> = planned
@@ -271,7 +326,11 @@ pub fn run_bolt(
         planned.clone()
     };
 
+    drop(hfsort_span);
+
+    let rewrite_span = tel.span_under("bolt.rewrite", bolt_id);
     let (layout, rstats) = rewrite(binary, &cfgs, &plans, &func_order, opts.huge_page_align);
+    drop(rewrite_span);
     stats.optimized_functions = rstats.optimized_functions;
     stats.new_text_bytes = rstats.new_text_bytes;
     stats.alignment_padding = rstats.alignment_padding;

@@ -37,6 +37,23 @@ impl CacheStats {
             self.hits as f64 / self.lookups as f64
         }
     }
+
+    /// Records these cumulative counters into `tel` under
+    /// `{prefix}.lookups` / `.hits` / `.misses` / `.insertions`, plus a
+    /// `{prefix}.hit_rate` gauge.
+    ///
+    /// Counters merge by addition, so call this once per cache at the
+    /// end of a run — not per lookup — or totals will double-count.
+    pub fn record_metrics(&self, tel: &propeller_telemetry::Telemetry, prefix: &str) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.counter_add(&format!("{prefix}.lookups"), self.lookups);
+        tel.counter_add(&format!("{prefix}.hits"), self.hits);
+        tel.counter_add(&format!("{prefix}.misses"), self.misses);
+        tel.counter_add(&format!("{prefix}.insertions"), self.insertions);
+        tel.gauge_set(&format!("{prefix}.hit_rate"), self.hit_rate());
+    }
 }
 
 /// A content-addressed cache from input hashes to artifacts of type
@@ -163,5 +180,21 @@ mod tests {
         let c: ActionCache<u32> = ActionCache::new();
         assert!(c.is_empty());
         assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_record_into_telemetry_under_prefix() {
+        let mut c = ActionCache::new();
+        c.insert(key(1), 10);
+        c.lookup(key(1));
+        c.lookup(key(2));
+        let tel = propeller_telemetry::Telemetry::enabled();
+        c.stats().record_metrics(&tel, "cache.ir");
+        let m = tel.drain().metrics;
+        assert_eq!(m.counter("cache.ir.lookups"), 2);
+        assert_eq!(m.counter("cache.ir.hits"), 1);
+        assert_eq!(m.counter("cache.ir.misses"), 1);
+        assert_eq!(m.counter("cache.ir.insertions"), 1);
+        assert!((m.gauges["cache.ir.hit_rate"] - 0.5).abs() < 1e-12);
     }
 }

@@ -2,6 +2,7 @@
 //! distributed and workstation builds.
 
 use crate::{ActionSpec, BuildError, PhaseReport, GIB};
+use propeller_telemetry::{SpanId, Telemetry};
 
 /// Where a build's actions run.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -123,6 +124,40 @@ impl Executor {
                 .unwrap_or(0),
         })
     }
+
+    /// [`run_phase`](Executor::run_phase), plus one telemetry span per
+    /// action under `parent`.
+    ///
+    /// Actions here are *modeled* — their cost lives in the cost model,
+    /// not in local wall-clock — so each span is emitted with zero wall
+    /// duration, its modeled CPU seconds as simulated time, and its
+    /// declared peak RSS. The phase's wall-clock (dispatch + critical
+    /// path, or serial sum) stays on the `parent` span the caller owns.
+    pub fn run_phase_traced(
+        &self,
+        actions: &[ActionSpec],
+        tel: &Telemetry,
+        parent: Option<SpanId>,
+    ) -> Result<PhaseReport, BuildError> {
+        let report = self.run_phase(actions)?;
+        if tel.is_enabled() {
+            for a in actions {
+                tel.emit_span(
+                    format!("action:{}", a.name),
+                    parent,
+                    a.cpu_secs,
+                    a.peak_rss_bytes,
+                );
+                tel.observe("executor.action_rss_bytes", a.peak_rss_bytes as f64);
+            }
+            tel.counter_add("executor.actions", actions.len() as u64);
+            tel.gauge_max(
+                "executor.max_action_rss_bytes",
+                report.max_action_memory as f64,
+            );
+        }
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +225,32 @@ mod tests {
             .run_phase(&[ActionSpec::new("llvm-bolt", 600.0, 36 * GIB)])
             .unwrap();
         assert_eq!(r.max_action_memory, 36 * GIB);
+    }
+
+    #[test]
+    fn traced_phase_emits_one_span_per_action() {
+        let tel = Telemetry::enabled();
+        let ex = Executor::new(MachineConfig::distributed());
+        let parent = {
+            let phase_span = tel.span("phase");
+            ex.run_phase_traced(&phase(), &tel, phase_span.id()).unwrap();
+            phase_span.id().unwrap()
+        };
+        let trace = tel.drain();
+        let children = trace.children(parent);
+        assert_eq!(children.len(), 3);
+        assert!(children.iter().any(|s| s.name == "action:b" && s.sim_secs == 4.0));
+        assert_eq!(trace.metrics.counter("executor.actions"), 3);
+        assert_eq!(trace.metrics.gauges["executor.max_action_rss_bytes"], 300.0);
+    }
+
+    #[test]
+    fn traced_phase_on_disabled_handle_records_nothing() {
+        let tel = Telemetry::disabled();
+        let ex = Executor::new(MachineConfig::distributed());
+        let r = ex.run_phase_traced(&phase(), &tel, None).unwrap();
+        assert_eq!(r.num_actions, 3);
+        assert!(tel.drain().spans.is_empty());
     }
 
     #[test]

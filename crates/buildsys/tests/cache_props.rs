@@ -35,6 +35,16 @@ proptest! {
         let stats = cache.stats();
         prop_assert_eq!(stats.hits + stats.misses, stats.lookups);
         prop_assert!(stats.hit_rate() >= 0.0 && stats.hit_rate() <= 1.0);
+
+        // The invariant survives the trip through the metrics registry:
+        // record into telemetry, read back from the drained snapshot.
+        let tel = propeller_telemetry::Telemetry::enabled();
+        stats.record_metrics(&tel, "cache");
+        let m = tel.drain().metrics;
+        prop_assert_eq!(m.counter("cache.hits") + m.counter("cache.misses"),
+                        m.counter("cache.lookups"));
+        prop_assert_eq!(m.counter("cache.lookups"), stats.lookups);
+        prop_assert_eq!(m.counter("cache.insertions"), stats.insertions);
     }
 
     /// A second `get_or_compute` of the same key is a hit returning the

@@ -30,5 +30,5 @@ mod options;
 pub use emit::{emit_function, EmittedFragment, EmittedFunction};
 pub use error::CodegenError;
 pub use layout::{BlockPlacement, Cluster, ClusterName, DebugLayout, FragmentLayout, FunctionClusters, FunctionLayout};
-pub use module::{codegen_module, CodegenResult, ModuleStats};
+pub use module::{codegen_module, codegen_module_traced, CodegenResult, ModuleStats};
 pub use options::{BbSectionsMode, ClusterMap, CodegenOptions};

@@ -64,6 +64,49 @@ pub fn codegen_module(
     program: &Program,
     opts: &CodegenOptions,
 ) -> Result<CodegenResult, CodegenError> {
+    codegen_module_traced(
+        module,
+        program,
+        opts,
+        &propeller_telemetry::Telemetry::disabled(),
+        None,
+    )
+}
+
+/// [`codegen_module`], plus telemetry: a `codegen:<module>` span under
+/// `parent` carrying the emit's wall time, a `codegen.modules` counter,
+/// and a `codegen.text_bytes` histogram of emitted text sizes.
+///
+/// The explicit `parent` matters because the pipeline runs these
+/// actions on worker threads, where thread-local span nesting cannot
+/// see the phase span.
+///
+/// # Errors
+///
+/// Same as [`codegen_module`].
+pub fn codegen_module_traced(
+    module: &Module,
+    program: &Program,
+    opts: &CodegenOptions,
+    tel: &propeller_telemetry::Telemetry,
+    parent: Option<propeller_telemetry::SpanId>,
+) -> Result<CodegenResult, CodegenError> {
+    let _span = tel.span_under(format!("codegen:{}", module.name), parent);
+    let result = codegen_module_impl(module, program, opts);
+    if tel.is_enabled() {
+        if let Ok(r) = &result {
+            tel.counter_add("codegen.modules", 1);
+            tel.observe("codegen.text_bytes", r.stats.text_bytes as f64);
+        }
+    }
+    result
+}
+
+fn codegen_module_impl(
+    module: &Module,
+    program: &Program,
+    opts: &CodegenOptions,
+) -> Result<CodegenResult, CodegenError> {
     if let BbSectionsMode::Clusters(map) = &opts.bb_sections {
         for (fid, _) in map.iter() {
             // Directives for other modules are fine (the caller may pass

@@ -5,13 +5,16 @@ use crate::fingerprint::module_fingerprint;
 use crate::report::{EvalReport, PhaseTimes, PropellerReport};
 use parking_lot::Mutex;
 use propeller_buildsys::{ActionCache, ActionSpec, CostModel, Executor, MachineConfig, PhaseReport};
-use propeller_codegen::{codegen_module, CodegenError, CodegenOptions, CodegenResult, FunctionClusters};
+use propeller_codegen::{
+    codegen_module_traced, CodegenError, CodegenOptions, CodegenResult, FunctionClusters,
+};
 use propeller_ir::{FunctionId, Program};
-use propeller_linker::{link, LinkInput, LinkOptions, LinkedBinary};
+use propeller_linker::{link_traced, LinkInput, LinkOptions, LinkedBinary};
 use propeller_obj::ContentHash;
 use propeller_profile::{HardwareProfile, SamplingConfig};
-use propeller_sim::{simulate, ProgramImage, SimOptions, UarchConfig, Workload};
-use propeller_wpa::{apply_prefetches, prefetch_directives, run_wpa, WpaOptions, WpaOutput};
+use propeller_sim::{simulate_traced, ProgramImage, SimOptions, UarchConfig, Workload};
+use propeller_telemetry::{SpanId, Telemetry};
+use propeller_wpa::{apply_prefetches, prefetch_directives, run_wpa_traced, WpaOptions, WpaOutput};
 use std::sync::Arc;
 
 /// Pipeline configuration.
@@ -74,6 +77,12 @@ impl BuildCaches {
     pub fn object_stats(&self) -> propeller_buildsys::CacheStats {
         self.obj.lock().stats()
     }
+
+    /// IR-cache statistics (cumulative across every pipeline sharing
+    /// these caches).
+    pub fn ir_stats(&self) -> propeller_buildsys::CacheStats {
+        self.ir.lock().stats()
+    }
 }
 
 /// The pipeline driver. Owns the program, the build caches, and all
@@ -97,6 +106,7 @@ pub struct Propeller {
     call_misses: Option<std::collections::HashMap<(u64, u64), u64>>,
     times: PhaseTimes,
     hot_module_fraction: f64,
+    tel: Telemetry,
 }
 
 fn tag(s: &str) -> ContentHash {
@@ -153,7 +163,20 @@ impl Propeller {
             call_misses: None,
             times: PhaseTimes::default(),
             hot_module_fraction: 0.0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; every later phase records spans and
+    /// metrics into it. The default (disabled) handle costs one branch
+    /// per instrumentation site.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// The pipeline's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// The program under optimization.
@@ -200,6 +223,7 @@ impl Propeller {
     /// Returns [`PipelineError::Build`] if an action exceeds the
     /// machine's memory limit.
     pub fn phase1_compile(&mut self) -> Result<PhaseReport, PipelineError> {
+        let mut span = self.tel.span("phase1.compile");
         let mut actions = Vec::new();
         for (m, &fp) in self.program.modules().iter().zip(&self.fingerprints) {
             let (_, hit) = self.caches.ir.lock().get_or_compute(fp, || fp);
@@ -212,7 +236,11 @@ impl Propeller {
                 ));
             }
         }
-        let report = self.executor.run_phase(&actions)?;
+        let report = self
+            .executor
+            .run_phase_traced(&actions, &self.tel, span.id())?;
+        span.set_sim_secs(report.wall_secs);
+        span.set_peak_bytes(report.max_action_memory);
         self.compiled = true;
         self.times.phase1 = report;
         Ok(report)
@@ -229,6 +257,7 @@ impl Propeller {
         &mut self,
         program: &Program,
         plan: Vec<(usize, ContentHash, Arc<CodegenOptions>)>,
+        parent: Option<SpanId>,
     ) -> Result<(Vec<Arc<CodegenResult>>, Vec<ActionSpec>), PipelineError> {
         let mut artifacts: Vec<Option<Arc<CodegenResult>>> = vec![None; plan.len()];
         let mut misses: Vec<(usize, ContentHash, Arc<CodegenOptions>)> = Vec::new();
@@ -244,6 +273,10 @@ impl Propeller {
         }
 
         let modules = program.modules();
+        // Workers record their spans under the caller's phase span via
+        // the explicit parent — thread-local nesting does not cross the
+        // scope boundary.
+        let tel = self.tel.clone();
         let computed: Vec<(usize, ContentHash, Result<Arc<CodegenResult>, CodegenError>)> =
             if misses.len() <= 1 {
                 misses
@@ -253,7 +286,8 @@ impl Propeller {
                         (
                             *pos,
                             *key,
-                            codegen_module(&modules[module_idx], program, cg).map(Arc::new),
+                            codegen_module_traced(&modules[module_idx], program, cg, &tel, parent)
+                                .map(Arc::new),
                         )
                     })
                     .collect()
@@ -272,7 +306,14 @@ impl Propeller {
                                 break;
                             };
                             let module_idx = plan[*pos].0;
-                            let r = codegen_module(&modules[module_idx], program, cg).map(Arc::new);
+                            let r = codegen_module_traced(
+                                &modules[module_idx],
+                                program,
+                                cg,
+                                &tel,
+                                parent,
+                            )
+                            .map(Arc::new);
                             results.lock().push((*pos, *key, r));
                         });
                     }
@@ -315,30 +356,42 @@ impl Propeller {
         if !self.compiled {
             return Err(PipelineError::PhaseOrder { needs: "phase 1" });
         }
+        let mut span = self.tel.span("phase2.build_metadata");
+        let span_id = span.id();
         let cg = Arc::new(CodegenOptions::with_labels());
         let plan: Vec<_> = (0..self.program.num_modules())
             .map(|i| (i, self.fingerprints[i].combine(tag("labels")), cg.clone()))
             .collect();
         let program = self.program.clone();
-        let (artifacts, actions) = self.codegen_batch(&program, plan)?;
+        let (artifacts, actions) = self.codegen_batch(&program, plan, span_id)?;
         let inputs: Vec<LinkInput> = artifacts
             .iter()
             .map(|a| LinkInput::new(a.object.clone(), a.debug_layout.clone()))
             .collect();
-        let codegen_phase = self.executor.run_phase(&actions)?;
-        let bin = link(
+        let codegen_phase = self
+            .executor
+            .run_phase_traced(&actions, &self.tel, span_id)?;
+        let bin = link_traced(
             &inputs,
             &LinkOptions {
                 output_name: "app.pm".into(),
                 ..LinkOptions::default()
             },
+            &self.tel,
+            span_id,
         )?;
-        let link_phase = self.executor.run_phase(&[ActionSpec::new(
-            "link app.pm",
-            self.opts.cost.link_secs(bin.stats.input_bytes),
-            bin.stats.modeled_peak_memory,
-        )])?;
+        let link_phase = self.executor.run_phase_traced(
+            &[ActionSpec::new(
+                "link app.pm",
+                self.opts.cost.link_secs(bin.stats.input_bytes),
+                bin.stats.modeled_peak_memory,
+            )],
+            &self.tel,
+            span_id,
+        )?;
         self.times.phase2 = codegen_phase.then(&link_phase);
+        span.set_sim_secs(self.times.phase2.wall_secs);
+        span.set_peak_bytes(self.times.phase2.max_action_memory);
         self.pm_binary = Some(Arc::new(bin));
         Ok(self.times.phase2)
     }
@@ -354,9 +407,11 @@ impl Propeller {
         let Some(pm) = self.pm_binary.clone() else {
             return Err(PipelineError::PhaseOrder { needs: "phase 2" });
         };
+        let mut span = self.tel.span("phase3.profile_and_analyze");
+        let span_id = span.id();
         let image = ProgramImage::build(&self.program, &pm.layout)
             .map_err(|e| PipelineError::Image(e.to_string()))?;
-        let run = simulate(
+        let run = simulate_traced(
             &image,
             &self.workload(self.opts.profile_budget),
             &self.opts.uarch,
@@ -365,18 +420,26 @@ impl Propeller {
                 heatmap: None,
                 collect_call_misses: self.opts.prefetch.is_some(),
             },
+            &self.tel,
+            span_id,
         );
         self.call_misses = run.call_misses;
         let profile = run.profile.expect("sampling enabled");
-        let wpa = run_wpa(&self.program, &pm, &profile, &self.opts.wpa);
+        let wpa = run_wpa_traced(&self.program, &pm, &profile, &self.opts.wpa, &self.tel, span_id);
         let cpu = self.opts.cost.profile_conversion_secs(profile.raw_size_bytes())
             + self.opts.cost.wpa_secs(wpa.stats.dcfg_edges as u64);
-        let report = self.executor.run_phase(&[ActionSpec::new(
-            "whole-program analysis",
-            cpu,
-            wpa.stats.modeled_peak_memory,
-        )])?;
+        let report = self.executor.run_phase_traced(
+            &[ActionSpec::new(
+                "whole-program analysis",
+                cpu,
+                wpa.stats.modeled_peak_memory,
+            )],
+            &self.tel,
+            span_id,
+        )?;
         self.times.phase3 = report;
+        span.set_sim_secs(report.wall_secs);
+        span.set_peak_bytes(report.max_action_memory);
         self.profile = Some(profile);
         self.wpa_output = Some(wpa);
         Ok(report)
@@ -394,6 +457,8 @@ impl Propeller {
         };
         let cluster_map = wpa.cluster_map.clone();
         let symbol_order = wpa.symbol_order.clone();
+        let mut span = self.tel.span("phase4.relink");
+        let span_id = span.id();
 
         // §3.5: insert software prefetches at miss-heavy call sites,
         // then regenerate hot modules from the augmented IR (the
@@ -419,8 +484,13 @@ impl Propeller {
         let labels = Arc::new(CodegenOptions::with_labels());
         let clusters_cg = Arc::new(CodegenOptions::with_clusters(cluster_map.clone()));
         let mut plan = Vec::with_capacity(phase4_program.num_modules());
-        for i in 0..phase4_program.num_modules() {
-            let directive_hash = phase4_program.modules()[i]
+        for (i, (module, fp)) in phase4_program
+            .modules()
+            .iter()
+            .zip(&phase4_fingerprints)
+            .enumerate()
+        {
+            let directive_hash = module
                 .functions
                 .iter()
                 .filter_map(|f| cluster_map.get(f.id).map(clusters_hash))
@@ -430,10 +500,7 @@ impl Propeller {
             let (key, cg) = match directive_hash {
                 Some(dh) => {
                     hot_modules += 1;
-                    (
-                        phase4_fingerprints[i].combine(tag("clusters")).combine(dh),
-                        clusters_cg.clone(),
-                    )
+                    (fp.combine(tag("clusters")).combine(dh), clusters_cg.clone())
                 }
                 // Module without cluster directives: its Phase 4
                 // inputs are identical to the Phase 2 action's, so this
@@ -441,21 +508,20 @@ impl Propeller {
                 // retrieved from the cache". The phase-4 fingerprint is
                 // used so a module touched only by prefetch insertion
                 // is correctly regenerated instead.
-                None => (
-                    phase4_fingerprints[i].combine(tag("labels")),
-                    labels.clone(),
-                ),
+                None => (fp.combine(tag("labels")), labels.clone()),
             };
             plan.push((i, key, cg));
         }
         self.hot_module_fraction = hot_modules as f64 / self.program.num_modules().max(1) as f64;
-        let (artifacts, actions) = self.codegen_batch(&phase4_program.clone(), plan)?;
+        let (artifacts, actions) = self.codegen_batch(&phase4_program.clone(), plan, span_id)?;
         let inputs: Vec<LinkInput> = artifacts
             .iter()
             .map(|a| LinkInput::new(a.object.clone(), a.debug_layout.clone()))
             .collect();
-        let codegen_phase = self.executor.run_phase(&actions)?;
-        let bin = link(
+        let codegen_phase = self
+            .executor
+            .run_phase_traced(&actions, &self.tel, span_id)?;
+        let bin = link_traced(
             &inputs,
             &LinkOptions {
                 output_name: "app.propeller".into(),
@@ -464,13 +530,21 @@ impl Propeller {
                 drop_cold_bb_addr_map: true,
                 ..LinkOptions::default()
             },
+            &self.tel,
+            span_id,
         )?;
-        let link_phase = self.executor.run_phase(&[ActionSpec::new(
-            "relink app.propeller",
-            self.opts.cost.link_secs(bin.stats.input_bytes),
-            bin.stats.modeled_peak_memory,
-        )])?;
+        let link_phase = self.executor.run_phase_traced(
+            &[ActionSpec::new(
+                "relink app.propeller",
+                self.opts.cost.link_secs(bin.stats.input_bytes),
+                bin.stats.modeled_peak_memory,
+            )],
+            &self.tel,
+            span_id,
+        )?;
         self.times.phase4 = codegen_phase.then(&link_phase);
+        span.set_sim_secs(self.times.phase4.wall_secs);
+        span.set_peak_bytes(self.times.phase4.max_action_memory);
         self.po_binary = Some(Arc::new(bin));
         self.phase4_program = Some(phase4_program);
         Ok(self.times.phase4)
@@ -488,8 +562,15 @@ impl Propeller {
         self.phase4_relink()?;
         let wpa = self.wpa_output.as_ref().expect("phase 3 ran");
         let po = self.po_binary.as_ref().expect("phase 4 ran");
+        // Counters merge by addition, so cache statistics are recorded
+        // exactly once per run, not per lookup.
+        self.caches.ir_stats().record_metrics(&self.tel, "cache.ir");
+        self.caches
+            .object_stats()
+            .record_metrics(&self.tel, "cache.obj");
         Ok(PropellerReport {
             times: self.times,
+            ir_cache: self.caches.ir_stats(),
             object_cache: self.caches.object_stats(),
             hot_module_fraction: self.hot_module_fraction,
             hot_functions: wpa.stats.hot_functions,
@@ -509,22 +590,26 @@ impl Propeller {
         if let Some(b) = &self.baseline_binary {
             return Ok(b.clone());
         }
+        let span = self.tel.span("baseline.build");
+        let span_id = span.id();
         let cg = Arc::new(CodegenOptions::baseline());
         let plan: Vec<_> = (0..self.program.num_modules())
             .map(|i| (i, self.fingerprints[i].combine(tag("baseline")), cg.clone()))
             .collect();
         let program = self.program.clone();
-        let (artifacts, _) = self.codegen_batch(&program, plan)?;
+        let (artifacts, _) = self.codegen_batch(&program, plan, span_id)?;
         let inputs: Vec<LinkInput> = artifacts
             .iter()
             .map(|a| LinkInput::new(a.object.clone(), a.debug_layout.clone()))
             .collect();
-        let bin = Arc::new(link(
+        let bin = Arc::new(link_traced(
             &inputs,
             &LinkOptions {
                 output_name: "app.baseline".into(),
                 ..LinkOptions::default()
             },
+            &self.tel,
+            span_id,
         )?);
         self.baseline_binary = Some(bin.clone());
         Ok(bin)
@@ -547,8 +632,24 @@ impl Propeller {
         let opt_program = self.phase4_program.clone().expect("phase 4 ran");
         let opt_img = ProgramImage::build(&opt_program, &po.layout)
             .map_err(|e| PipelineError::Image(e.to_string()))?;
-        let base = simulate(&base_img, &workload, &self.opts.uarch, &SimOptions::default());
-        let opt = simulate(&opt_img, &workload, &self.opts.uarch, &SimOptions::default());
+        let span = self.tel.span("evaluate");
+        let span_id = span.id();
+        let base = simulate_traced(
+            &base_img,
+            &workload,
+            &self.opts.uarch,
+            &SimOptions::default(),
+            &self.tel,
+            span_id,
+        );
+        let opt = simulate_traced(
+            &opt_img,
+            &workload,
+            &self.opts.uarch,
+            &SimOptions::default(),
+            &self.tel,
+            span_id,
+        );
         Ok(EvalReport {
             baseline: base.counters,
             optimized: opt.counters,

@@ -28,6 +28,9 @@ impl PhaseTimes {
 pub struct PropellerReport {
     /// Per-phase times and memory.
     pub times: PhaseTimes,
+    /// IR-cache statistics from Phase 1 (the §2.1 ">90% hit rate"
+    /// incremental-release effect shows up here).
+    pub ir_cache: CacheStats,
     /// Object-cache statistics across phases 2 and 4 (Phase 4's hit
     /// rate is the "% Cold" effect: cold objects come from cache).
     pub object_cache: CacheStats,
@@ -73,12 +76,16 @@ mod tests {
 
     #[test]
     fn eval_speedup_delegates() {
-        let mut base = CounterSet::default();
-        base.insts = 100;
-        base.cycles = 200;
-        let mut opt = CounterSet::default();
-        opt.insts = 100;
-        opt.cycles = 100;
+        let base = CounterSet {
+            insts: 100,
+            cycles: 200,
+            ..CounterSet::default()
+        };
+        let opt = CounterSet {
+            insts: 100,
+            cycles: 100,
+            ..CounterSet::default()
+        };
         let e = EvalReport {
             baseline: base,
             optimized: opt,

@@ -34,9 +34,11 @@ fn prefetch_pass_reduces_entry_misses() {
     let (p, driver) = dispatcher_program(96, 500);
 
     let run = |prefetch: Option<u64>| {
-        let mut opts = PropellerOptions::default();
-        opts.prefetch = prefetch;
-        opts.profile_budget = 120_000;
+        let opts = PropellerOptions {
+            prefetch,
+            profile_budget: 120_000,
+            ..PropellerOptions::default()
+        };
         let mut pipeline = Propeller::new(p.clone(), vec![(driver, 1.0)], opts);
         pipeline.run_all().unwrap();
         pipeline.evaluate(200_000).unwrap()
@@ -66,10 +68,12 @@ fn prefetch_pass_reduces_entry_misses() {
 #[test]
 fn prefetch_disabled_by_default_and_threshold_respected() {
     let (p, driver) = dispatcher_program(16, 40);
-    let mut opts = PropellerOptions::default();
-    opts.profile_budget = 40_000;
     // Absurd threshold: pass enabled but no site qualifies.
-    opts.prefetch = Some(u64::MAX / 2);
+    let opts = PropellerOptions {
+        profile_budget: 40_000,
+        prefetch: Some(u64::MAX / 2),
+        ..PropellerOptions::default()
+    };
     let mut pipeline = Propeller::new(p, vec![(driver, 1.0)], opts);
     pipeline.run_all().unwrap();
     let eval = pipeline.evaluate(50_000).unwrap();

@@ -24,5 +24,5 @@ mod relax;
 
 pub use binary::{FinalBlock, FinalFunctionLayout, FinalLayout, LinkStats, LinkedBinary, PlacedSection};
 pub use error::LinkError;
-pub use link::{link, LinkInput, LinkOptions};
+pub use link::{link, link_traced, LinkInput, LinkOptions};
 pub use ordering::SymbolOrdering;

@@ -9,6 +9,7 @@ use crate::relax::{assign_addresses, parse_sites, relax, resolve, Sec, SiteState
 use propeller_codegen::isa::op;
 use propeller_codegen::DebugLayout;
 use propeller_obj::{BbAddrMap, ObjectFile, RelocKind, SectionKind, SizeBreakdown, SymbolKind};
+use propeller_telemetry::{SpanId, Telemetry};
 use std::collections::HashMap;
 
 /// One input to the link: an object file plus (optionally) the codegen
@@ -84,6 +85,36 @@ impl Default for LinkOptions {
 /// Returns [`LinkError`] on duplicate or undefined global symbols,
 /// displacement overflow, undecodable metadata, or relaxation failure.
 pub fn link(inputs: &[LinkInput], opts: &LinkOptions) -> Result<LinkedBinary, LinkError> {
+    link_traced(inputs, opts, &Telemetry::disabled(), None)
+}
+
+/// [`link`], plus telemetry: a `link:<output>` span under `parent`
+/// with `link.ordering` / `link.relax` / `link.emit` stage children,
+/// a `link.relax_iterations` counter (fixpoint sweeps), and
+/// `link.deleted_jumps` / `link.shrunk_branches` counters.
+///
+/// # Errors
+///
+/// Same as [`link`].
+pub fn link_traced(
+    inputs: &[LinkInput],
+    opts: &LinkOptions,
+    tel: &Telemetry,
+    parent: Option<SpanId>,
+) -> Result<LinkedBinary, LinkError> {
+    let mut link_span = tel.span_under(format!("link:{}", opts.output_name), parent);
+    let link_id = link_span.id();
+    let bin = link_impl(inputs, opts, tel, link_id)?;
+    link_span.set_peak_bytes(bin.stats.modeled_peak_memory);
+    Ok(bin)
+}
+
+fn link_impl(
+    inputs: &[LinkInput],
+    opts: &LinkOptions,
+    tel: &Telemetry,
+    link_id: Option<SpanId>,
+) -> Result<LinkedBinary, LinkError> {
     // Flatten sections and build the global symbol table.
     let mut secs: Vec<Sec> = Vec::new();
     let mut symtab: HashMap<String, (usize, u32)> = HashMap::new();
@@ -146,18 +177,22 @@ pub fn link(inputs: &[LinkInput], opts: &LinkOptions) -> Result<LinkedBinary, Li
     let mut text_order: Vec<usize> = (0..secs.len())
         .filter(|&i| secs[i].kind == SectionKind::Text)
         .collect();
-    if let Some(order) = &opts.symbol_order {
-        text_order.sort_by_key(|&i| {
-            let rank = primary_symbol
-                .get(&i)
-                .and_then(|name| order.rank(name))
-                .unwrap_or(usize::MAX);
-            (rank, i)
-        });
+    {
+        let _ordering_span = tel.span_under("link.ordering", link_id);
+        if let Some(order) = &opts.symbol_order {
+            text_order.sort_by_key(|&i| {
+                let rank = primary_symbol
+                    .get(&i)
+                    .and_then(|name| order.rank(name))
+                    .unwrap_or(usize::MAX);
+                (rank, i)
+            });
+        }
     }
 
     // Relaxation.
     let (deleted, shrunk) = if opts.relax {
+        let _relax_span = tel.span_under("link.relax", link_id);
         for s in secs.iter_mut() {
             if s.relaxable && s.kind == SectionKind::Text {
                 let section = propeller_obj::Section {
@@ -172,7 +207,13 @@ pub fn link(inputs: &[LinkInput], opts: &LinkOptions) -> Result<LinkedBinary, Li
                 s.sites = parse_sites(&section)?;
             }
         }
-        relax(&mut secs, &text_order, &symtab, opts.base)?
+        let (deleted, shrunk, iters) = relax(&mut secs, &text_order, &symtab, opts.base)?;
+        if tel.is_enabled() {
+            tel.counter_add("link.relax_iterations", iters);
+            tel.counter_add("link.deleted_jumps", deleted);
+            tel.counter_add("link.shrunk_branches", shrunk);
+        }
+        (deleted, shrunk)
     } else {
         (0, 0)
     };
@@ -186,6 +227,7 @@ pub fn link(inputs: &[LinkInput], opts: &LinkOptions) -> Result<LinkedBinary, Li
         .unwrap_or(opts.base);
 
     // Emit the image.
+    let emit_span = tel.span_under("link.emit", link_id);
     let mut image = vec![op::NOP; (image_end - opts.base) as usize];
     let mut padding = 0u64;
     {
@@ -202,6 +244,7 @@ pub fn link(inputs: &[LinkInput], opts: &LinkOptions) -> Result<LinkedBinary, Li
         }
         emit_section(&mut image, &secs, i, &symtab, inputs)?;
     }
+    drop(emit_span);
 
     // Build the output symbol map.
     let mut symbols = HashMap::with_capacity(symtab.len());
@@ -212,8 +255,10 @@ pub fn link(inputs: &[LinkInput], opts: &LinkOptions) -> Result<LinkedBinary, Li
 
     // Merge metadata and compute the size breakdown.
     let mut bb_addr_map = BbAddrMap::default();
-    let mut breakdown = SizeBreakdown::default();
-    breakdown.text = (text_end - opts.base) as usize;
+    let mut breakdown = SizeBreakdown {
+        text: (text_end - opts.base) as usize,
+        ..SizeBreakdown::default()
+    };
     for s in &secs {
         match s.kind {
             SectionKind::Text => {}
@@ -294,7 +339,7 @@ pub fn link(inputs: &[LinkInput], opts: &LinkOptions) -> Result<LinkedBinary, Li
 
     let stats = LinkStats {
         input_bytes,
-        text_bytes: (text_end - opts.base) as u64,
+        text_bytes: (text_end - opts.base),
         padding_bytes: padding,
         deleted_jumps: deleted,
         shrunk_branches: shrunk,

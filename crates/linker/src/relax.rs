@@ -191,18 +191,19 @@ pub(crate) fn resolve(
 }
 
 /// Runs the relaxation fixpoint: fall-through jump deletion plus branch
-/// shrinking. Returns `(deleted, shrunk)` counts.
+/// shrinking. Returns `(deleted, shrunk, iterations)` — the counts plus
+/// how many Jacobi sweeps the fixpoint took.
 ///
 /// Decisions are recomputed from scratch each iteration against the
 /// previous iteration's addresses (Jacobi style) until stable, then
 /// verified; if the loop fails to stabilize or verify, the pass falls
 /// back to the always-correct all-long, no-deletion state.
 pub(crate) fn relax(
-    secs: &mut Vec<Sec>,
+    secs: &mut [Sec],
     text_order: &[usize],
     symtab: &HashMap<String, (usize, u32)>,
     base: u64,
-) -> Result<(u64, u64), LinkError> {
+) -> Result<(u64, u64, u64), LinkError> {
     const MAX_ITERS: usize = 64;
     // Identify, per text-order position, which section follows.
     let next_in_order: HashMap<usize, usize> = text_order
@@ -211,7 +212,9 @@ pub(crate) fn relax(
         .collect();
 
     let mut stable = false;
+    let mut iters = 0u64;
     for _ in 0..MAX_ITERS {
+        iters += 1;
         assign_addresses(secs, text_order, base);
         // Compute fresh decisions against current addresses.
         let mut new_states: Vec<(usize, usize, SiteState)> = Vec::new();
@@ -270,7 +273,7 @@ pub(crate) fn relax(
                     }
                 }
             }
-            return Ok((deleted, shrunk));
+            return Ok((deleted, shrunk, iters));
         }
     }
     // Fallback: no relaxation (always correct).
@@ -280,7 +283,7 @@ pub(crate) fn relax(
         }
     }
     assign_addresses(secs, text_order, base);
-    Ok((0, 0))
+    Ok((0, 0, iters))
 }
 
 /// A tail jump is deletable when control would reach its target by
@@ -325,7 +328,7 @@ fn tail_deletable(
         .map(|(_, s)| s.savings())
         .sum();
     let end = sec.addr + (sec.bytes.len() as u32 - saved - site.orig_len) as u64;
-    end % tsec.align.max(1) as u64 == 0
+    end.is_multiple_of(tsec.align.max(1) as u64)
 }
 
 /// Checks every decision against final addresses.

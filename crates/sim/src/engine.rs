@@ -121,11 +121,10 @@ impl Frontend {
         if !self.itlb.access(addr) {
             self.stlb.access(addr);
         }
-        if !self.l1i.access(addr) {
-            if !self.l2.access(addr) {
+        if !self.l1i.access(addr)
+            && !self.l2.access(addr) {
                 self.l3.access(addr);
             }
-        }
     }
 
     /// Retires `n` instructions.
@@ -187,6 +186,34 @@ struct Frame {
     b: usize,
     call_idx: usize,
     entered: bool,
+}
+
+/// [`simulate`], plus telemetry: a `simulate` span under `parent`
+/// carrying the run's wall time, and `sim.*` counters (blocks, insts,
+/// cycles, L1i/iTLB misses) accumulated across runs.
+///
+/// # Panics
+///
+/// Same as [`simulate`].
+pub fn simulate_traced(
+    image: &ProgramImage,
+    workload: &Workload,
+    uarch: &UarchConfig,
+    opts: &SimOptions,
+    tel: &propeller_telemetry::Telemetry,
+    parent: Option<propeller_telemetry::SpanId>,
+) -> SimReport {
+    let _span = tel.span_under("simulate", parent);
+    let report = simulate(image, workload, uarch, opts);
+    if tel.is_enabled() {
+        let c = &report.counters;
+        tel.counter_add("sim.blocks", c.blocks);
+        tel.counter_add("sim.insts", c.insts);
+        tel.counter_add("sim.cycles", c.cycles);
+        tel.counter_add("sim.l1i_misses", c.l1i_misses);
+        tel.counter_add("sim.itlb_misses", c.itlb_misses);
+    }
+    report
 }
 
 /// Runs the workload over the image and reports counters, an optional

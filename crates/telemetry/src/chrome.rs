@@ -1,0 +1,248 @@
+//! Chrome Trace Event Format exporter.
+//!
+//! Produces the JSON object form (`{"traceEvents": [...]}`) loadable
+//! in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//! every span becomes a complete (`"ph": "X"`) event with its wall
+//! duration, and simulated time / peak bytes / span ids ride along in
+//! `args`; every counter and gauge becomes a counter (`"ph": "C"`)
+//! event so they plot as tracks.
+//!
+//! The writer emits JSON by hand — the workspace has no serde — and
+//! escapes strings per RFC 8259, so the output is always
+//! syntactically valid.
+
+use crate::{SpanRecord, TraceData};
+use std::fmt::Write as _;
+
+/// Escapes `s` as the contents of a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity; those
+/// become 0 and a very large finite value respectively).
+fn json_f64(v: f64) -> String {
+    if v.is_nan() {
+        "0".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "1e308" } else { "-1e308" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn span_event(s: &SpanRecord) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\
+         \"args\":{{\"span_id\":{},\"parent_id\":{},\"sim_secs\":{},\"peak_bytes\":{}}}}}",
+        escape_json(&s.name),
+        if s.dur_us == 0 { "action" } else { "span" },
+        s.start_us,
+        // chrome://tracing hides true zero-width events; give modeled
+        // actions a 1us sliver so they stay visible.
+        s.dur_us.max(1),
+        s.thread,
+        s.id.0,
+        s.parent.map_or("null".to_string(), |p| p.0.to_string()),
+        json_f64(s.sim_secs),
+        s.peak_bytes,
+    )
+}
+
+/// Renders a drained trace as a Chrome Trace Event Format JSON
+/// document.
+pub fn to_chrome_trace(trace: &TraceData) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(trace.spans.len() + 8);
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+         \"args\":{\"name\":\"propeller\"}}"
+            .to_string(),
+    );
+    for s in &trace.spans {
+        events.push(span_event(s));
+    }
+    let ts = trace.spans.iter().map(|s| s.start_us + s.dur_us).max().unwrap_or(0);
+    for (name, v) in &trace.metrics.counters {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"value\":{v}}}}}",
+            escape_json(name),
+        ));
+    }
+    for (name, v) in &trace.metrics.gauges {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"value\":{}}}}}",
+            escape_json(name),
+            json_f64(*v),
+        ));
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    /// A minimal JSON syntax checker: enough to guarantee the exporter
+    /// never emits something `JSON.parse` would reject (balanced
+    /// structure, valid strings/numbers/literals).
+    fn check_json(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && (b[*i] as char).is_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    skip_ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        skip_ws(b, i);
+                        string(b, i)?;
+                        skip_ws(b, i);
+                        if b.get(*i) != Some(&b':') {
+                            return Err(format!("expected : at {i}"));
+                        }
+                        *i += 1;
+                        value(b, i)?;
+                        skip_ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected , or }} at {i}")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *i += 1;
+                    skip_ws(b, i);
+                    if b.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, i)?;
+                        skip_ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected , or ] at {i}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, i),
+                Some(b't') => literal(b, i, "true"),
+                Some(b'f') => literal(b, i, "false"),
+                Some(b'n') => literal(b, i, "null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                    *i += 1;
+                    while *i < b.len()
+                        && (b[*i].is_ascii_digit()
+                            || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                    {
+                        *i += 1;
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unexpected {other:?} at {i}")),
+            }
+        }
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("expected string at {i}"));
+            }
+            *i += 1;
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    b'\\' => *i += 2,
+                    c if c < 0x20 => return Err(format!("raw control char at {i}")),
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+            if b[*i..].starts_with(lit.as_bytes()) {
+                *i += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at {i}"))
+            }
+        }
+        value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i == b.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing garbage at {i}"))
+        }
+    }
+
+    #[test]
+    fn exports_valid_json_with_all_event_kinds() {
+        let tel = Telemetry::enabled();
+        {
+            let mut phase = tel.span("phase \"1\"\nweird\tname");
+            phase.set_sim_secs(1.25);
+            phase.set_peak_bytes(4096);
+            tel.emit_span("action:compile", phase.id(), 0.5, 64 << 20);
+        }
+        tel.counter_add("cache.hits", 3);
+        tel.gauge_max("rss", 1.5e9);
+        let json = to_chrome_trace(&tel.drain());
+        check_json(&json).expect("valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("action:compile"));
+        assert!(json.contains("cache.hits"));
+        assert!(json.contains("\\\"1\\\""));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = to_chrome_trace(&Telemetry::enabled().drain());
+        check_json(&json).expect("valid JSON");
+    }
+
+    #[test]
+    fn escapes_and_nonfinite_numbers() {
+        assert_eq!(escape_json("a\"b\\c\u{1}"), "a\\\"b\\\\c\\u0001");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "1e308");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

@@ -1,0 +1,254 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Everything here merges associatively and commutatively — counter
+//! merge is addition, gauge merge is max, histogram merge is
+//! element-wise bucket addition — so per-thread shards can be combined
+//! in any order and grouping without changing the result (property
+//! tested in `tests/metrics_props.rs`).
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets. Bucket `i < HISTOGRAM_BUCKETS - 1`
+/// counts observations `v` with `v <= 2^(i - UNIT_BUCKET)`; the last
+/// bucket is the overflow.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Index of the bucket whose upper bound is `2^0 = 1`; buckets below
+/// it cover sub-unit observations down to `2^-8`.
+const UNIT_BUCKET: i32 = 8;
+
+/// A fixed-bucket histogram over power-of-two bucket bounds, with
+/// exact count/sum/min/max sidecars.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket an observation falls into.
+    fn bucket_of(v: f64) -> usize {
+        if v.is_nan() || v <= 0.0 {
+            // Zero, negative and NaN all land in the first bucket.
+            return 0;
+        }
+        let idx = v.log2().ceil() as i64 + UNIT_BUCKET as i64;
+        idx.clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+    }
+
+    /// Upper bound of bucket `i` (`f64::INFINITY` for the overflow
+    /// bucket).
+    pub fn bucket_bound(i: usize) -> f64 {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            f64::INFINITY
+        } else {
+            2f64.powi(i as i32 - UNIT_BUCKET)
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another histogram in. Associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The count invariant every merge preserves: bucket counts sum to
+    /// `count()`.
+    pub fn is_consistent(&self) -> bool {
+        self.buckets.iter().sum::<u64>() == self.count
+    }
+}
+
+/// One shard's mutable metric state.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds to a monotonic counter.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Raises a gauge to at least `v`.
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        let g = self.gauges.entry(name.to_string()).or_insert(v);
+        *g = g.max(v);
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// Merged, immutable metric state — what a drained trace carries.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name (merge keeps the max).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Merges `other` in: counters add, gauges max, histograms merge
+    /// bucket-wise. Associative and commutative, so shard order never
+    /// matters.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let g = self.gauges.entry(k.clone()).or_insert(*v);
+            *g = g.max(*v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// A counter's value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let mut h = Histogram::default();
+        for v in [0.0, 0.5, 1.0, 3.0, 1e9] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!(h.is_consistent());
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(1e9));
+        assert!((h.mean() - (0.5 + 1.0 + 3.0 + 1e9) / 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert!(Histogram::bucket_bound(i) > Histogram::bucket_bound(i - 1));
+        }
+        assert_eq!(Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn observation_lands_at_or_below_its_bound() {
+        for v in [0.001, 0.25, 1.0, 7.0, 1024.0, 1e12] {
+            let b = Histogram::bucket_of(v);
+            assert!(v <= Histogram::bucket_bound(b), "{v} in bucket {b}");
+            if b > 0 && b < HISTOGRAM_BUCKETS - 1 {
+                assert!(v > Histogram::bucket_bound(b - 1), "{v} in bucket {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_maxes_gauges() {
+        let mut a = MetricsRegistry::default();
+        a.counter_add("c", 2);
+        a.gauge_max("g", 5.0);
+        let mut b = MetricsRegistry::default();
+        b.counter_add("c", 3);
+        b.counter_add("only_b", 1);
+        b.gauge_max("g", 4.0);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("c"), 5);
+        assert_eq!(snap.counter("only_b"), 1);
+        assert_eq!(snap.counter("absent"), 0);
+        assert!((snap.gauges["g"] - 5.0).abs() < 1e-12);
+    }
+}

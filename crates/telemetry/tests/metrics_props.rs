@@ -1,0 +1,132 @@
+//! Property tests: the metrics registry's merge operations are
+//! associative (and commutative), so per-thread shard merging is
+//! order- and grouping-independent.
+
+use propeller_telemetry::{Histogram, MetricsRegistry, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// Scale a unit-interval draw up so observations span underflow, mid
+/// and overflow histogram buckets.
+const SCALE: f64 = 1e9;
+
+fn histogram_of(obs: &[f64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in obs {
+        h.observe(v * SCALE);
+    }
+    h
+}
+
+fn snapshot_of(counters: &[(u8, u64)], gauges: &[(u8, f64)], obs: &[f64]) -> MetricsSnapshot {
+    let mut r = MetricsRegistry::default();
+    for (k, v) in counters {
+        r.counter_add(&format!("c{}", k % 4), *v);
+    }
+    for (k, v) in gauges {
+        r.gauge_max(&format!("g{}", k % 4), *v * SCALE);
+    }
+    for &v in obs {
+        r.observe("h", v * SCALE);
+    }
+    r.snapshot()
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+/// Histogram equality up to floating-point rounding in `sum` (the one
+/// field where IEEE addition is not exactly associative); buckets,
+/// count, min and max must match exactly.
+fn hist_eq(a: &Histogram, b: &Histogram) -> bool {
+    let sum_close = (a.sum() - b.sum()).abs() <= 1e-9 * a.sum().abs().max(b.sum().abs()).max(1.0);
+    a.buckets() == b.buckets()
+        && a.count() == b.count()
+        && a.min() == b.min()
+        && a.max() == b.max()
+        && sum_close
+}
+
+fn snap_eq(a: &MetricsSnapshot, b: &MetricsSnapshot) -> bool {
+    a.counters == b.counters
+        && a.gauges == b.gauges
+        && a.histograms.len() == b.histograms.len()
+        && a.histograms
+            .iter()
+            .all(|(k, h)| b.histograms.get(k).is_some_and(|o| hist_eq(h, o)))
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in proptest::collection::vec(any::<f64>(), 0..40),
+        ys in proptest::collection::vec(any::<f64>(), 0..40),
+        zs in proptest::collection::vec(any::<f64>(), 0..40),
+    ) {
+        let (a, b, c) = (histogram_of(&xs), histogram_of(&ys), histogram_of(&zs));
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert!(hist_eq(&left, &right));
+        prop_assert!(left.is_consistent());
+        prop_assert_eq!(left.count(), (xs.len() + ys.len() + zs.len()) as u64);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative(
+        xs in proptest::collection::vec(any::<f64>(), 0..30),
+        ys in proptest::collection::vec(any::<f64>(), 0..30),
+    ) {
+        let (a, b) = (histogram_of(&xs), histogram_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert!(hist_eq(&ab, &ba));
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative(
+        ca in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..12),
+        cb in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..12),
+        cc in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..12),
+        ga in proptest::collection::vec((any::<u8>(), any::<f64>()), 0..8),
+        gb in proptest::collection::vec((any::<u8>(), any::<f64>()), 0..8),
+        oa in proptest::collection::vec(any::<f64>(), 0..16),
+        ob in proptest::collection::vec(any::<f64>(), 0..16),
+    ) {
+        let a = snapshot_of(&ca, &ga, &oa);
+        let b = snapshot_of(&cb, &gb, &ob);
+        let c = snapshot_of(&cc, &[], &[]);
+        prop_assert!(snap_eq(&merged(&merged(&a, &b), &c), &merged(&a, &merged(&b, &c))));
+        prop_assert!(snap_eq(&merged(&a, &b), &merged(&b, &a)));
+    }
+
+    #[test]
+    fn counter_merge_totals_match_sum(
+        adds in proptest::collection::vec(0u64..1_000_000, 1..64),
+        at in 0usize..64,
+    ) {
+        // Splitting one stream of counter adds across two shards and
+        // merging gives the same total as a single shard.
+        let cut = at.min(adds.len());
+        let (xs, ys) = adds.split_at(cut);
+        let mut one = MetricsRegistry::default();
+        for v in &adds { one.counter_add("n", *v); }
+        let mut sa = MetricsRegistry::default();
+        for v in xs { sa.counter_add("n", *v); }
+        let mut sb = MetricsRegistry::default();
+        for v in ys { sb.counter_add("n", *v); }
+        let m = merged(&sa.snapshot(), &sb.snapshot());
+        prop_assert_eq!(m.counter("n"), one.snapshot().counter("n"));
+        prop_assert_eq!(m.counter("n"), adds.iter().sum::<u64>());
+    }
+}

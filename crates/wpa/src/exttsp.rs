@@ -194,10 +194,10 @@ impl<'a> Optimizer<'a> {
     /// Whether a merged sequence would violate the entry-first
     /// constraint.
     fn entry_ok(&self, seq: &[usize]) -> bool {
-        match seq.iter().position(|&b| b == self.entry_idx) {
-            Some(0) | None => true,
-            _ => false,
-        }
+        matches!(
+            seq.iter().position(|&b| b == self.entry_idx),
+            Some(0) | None
+        )
     }
 
     /// Enumerates merge variants of chains `x` and `y` and returns the
@@ -278,6 +278,29 @@ impl<'a> Optimizer<'a> {
 ///
 /// Panics if `entry` is not among `nodes` or ids are duplicated.
 pub fn order_nodes(nodes: &[Node], edges: &[Edge], entry: u32, params: &ExtTspParams) -> Vec<u32> {
+    order_nodes_traced(
+        nodes,
+        edges,
+        entry,
+        params,
+        &propeller_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`order_nodes`], recording an `exttsp.merges` counter and an
+/// `exttsp.merge_gain` histogram (the score gain of every chain merge
+/// the optimizer commits) into `tel`.
+///
+/// # Panics
+///
+/// Same as [`order_nodes`].
+pub fn order_nodes_traced(
+    nodes: &[Node],
+    edges: &[Edge],
+    entry: u32,
+    params: &ExtTspParams,
+    tel: &propeller_telemetry::Telemetry,
+) -> Vec<u32> {
     assert!(!nodes.is_empty(), "need at least one node");
     let mut dense: HashMap<u32, usize> = HashMap::with_capacity(nodes.len());
     for (i, n) in nodes.iter().enumerate() {
@@ -346,6 +369,7 @@ pub fn order_nodes(nodes: &[Node], edges: &[Edge], entry: u32, params: &ExtTspPa
         push_pair(&opt, &mut heap, y, x);
     }
 
+    let mut merges = 0u64;
     while let Some(entry) = heap.pop() {
         if entry.gain <= 1e-9 {
             break;
@@ -360,12 +384,20 @@ pub fn order_nodes(nodes: &[Node], edges: &[Edge], entry: u32, params: &ExtTspPa
             continue;
         }
         opt.apply(x, y, entry.split);
+        merges += 1;
+        if tel.is_enabled() {
+            tel.observe("exttsp.merge_gain", entry.gain);
+        }
         let mut affected: Vec<usize> = opt.neighbors[x].iter().copied().collect();
         affected.sort_unstable();
         for n in affected {
             push_pair(&opt, &mut heap, x, n);
             push_pair(&opt, &mut heap, n, x);
         }
+    }
+
+    if tel.is_enabled() && merges > 0 {
+        tel.counter_add("exttsp.merges", merges);
     }
 
     // Assemble: entry chain first, then remaining chains by density.

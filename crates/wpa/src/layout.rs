@@ -1,13 +1,14 @@
 //! The WPA driver: from profile to `cc_prof` + `ld_prof`.
 
 use crate::dcfg::{Dcfg, DcfgFunction};
-use crate::exttsp::{order_nodes, Edge, Node};
+use crate::exttsp::{order_nodes_traced, Edge, Node};
 use crate::mapper::AddressMapper;
 use crate::options::{GlobalOrder, IntraOrder, WpaOptions};
 use propeller_codegen::{Cluster, ClusterMap, ClusterName, FunctionClusters};
 use propeller_ir::{BlockId, FunctionId, Program};
 use propeller_linker::{LinkedBinary, SymbolOrdering};
 use propeller_profile::{AggregatedProfile, HardwareProfile};
+use propeller_telemetry::{SpanId, Telemetry};
 use std::collections::HashMap;
 
 /// Statistics of one WPA run.
@@ -60,9 +61,38 @@ pub fn run_wpa(
     profile: &HardwareProfile,
     opts: &WpaOptions,
 ) -> WpaOutput {
-    let agg = AggregatedProfile::from_profile(profile);
-    let mapper = AddressMapper::from_binary(binary);
-    let dcfg = Dcfg::build(&mapper, &agg);
+    run_wpa_traced(program, binary, profile, opts, &Telemetry::disabled(), None)
+}
+
+/// [`run_wpa`], plus telemetry: a `wpa` span under `parent` (peak bytes
+/// = the run's modeled peak memory) with stage children for profile
+/// aggregation, address mapping, dynamic-CFG construction, intra- and
+/// inter-procedural layout, and counters for hot functions/blocks,
+/// DCFG edges and Ext-TSP merges.
+pub fn run_wpa_traced(
+    program: &Program,
+    binary: &LinkedBinary,
+    profile: &HardwareProfile,
+    opts: &WpaOptions,
+    tel: &Telemetry,
+    parent: Option<SpanId>,
+) -> WpaOutput {
+    let mut wpa_span = tel.span_under("wpa", parent);
+    let wpa_id = wpa_span.id();
+    let agg = {
+        let _s = tel.span_under("wpa.aggregate_profile", wpa_id);
+        AggregatedProfile::from_profile(profile)
+    };
+    let mapper = {
+        let _s = tel.span_under("wpa.address_mapping", wpa_id);
+        AddressMapper::from_binary(binary)
+    };
+    let dcfg = {
+        let mut s = tel.span_under("wpa.dynamic_cfg", wpa_id);
+        let dcfg = Dcfg::build(&mapper, &agg);
+        s.set_peak_bytes(mapper.modeled_memory_bytes() + dcfg.modeled_memory_bytes());
+        dcfg
+    };
 
     let name_to_id: HashMap<&str, FunctionId> =
         program.functions().map(|f| (f.name.as_str(), f.id)).collect();
@@ -83,6 +113,7 @@ pub fn run_wpa(
         ..WpaStats::default()
     };
 
+    let intra_span = tel.span_under("wpa.intra_layout", wpa_id);
     for fmap in &binary.bb_addr_map.functions {
         let Some(&fi) = mapper_idx.get(fmap.func_symbol.as_str()) else {
             continue;
@@ -166,7 +197,7 @@ pub fn run_wpa(
                     })
                     .collect();
                 edges.sort_unstable_by_key(|e| (e.src, e.dst, e.weight));
-                order_nodes(&nodes, &edges, 0, &opts.exttsp)
+                order_nodes_traced(&nodes, &edges, 0, &opts.exttsp, tel)
             }
         };
 
@@ -237,8 +268,10 @@ pub fn run_wpa(
 
         cluster_map.insert(fid, FunctionClusters { clusters });
     }
+    drop(intra_span);
 
     // Global order.
+    let global_span = tel.span_under("wpa.global_order", wpa_id);
     let hot_symbols: Vec<String> = match opts.global {
         GlobalOrder::InputOrder => planned.iter().map(|p| p.symbol.clone()).collect(),
         GlobalOrder::HotFirst => {
@@ -308,7 +341,7 @@ pub fn run_wpa(
                 // Section-level locality windows are page-scale.
                 params.forward_window = 4096;
                 params.backward_window = 4096;
-                order_nodes(&nodes, &edges, entry, &params)
+                order_nodes_traced(&nodes, &edges, entry, &params, tel)
                     .into_iter()
                     .map(|i| planned[i as usize].symbol.clone())
                     .collect()
@@ -320,9 +353,16 @@ pub fn run_wpa(
         debug_assert!(c.cold);
         symbol_order.push(c.symbol.clone());
     }
+    drop(global_span);
 
     let analysis_mem = mapper.modeled_memory_bytes() + dcfg.modeled_memory_bytes();
     stats.modeled_peak_memory = stats.profile_bytes.max(analysis_mem);
+    if tel.is_enabled() {
+        tel.counter_add("wpa.hot_functions", stats.hot_functions as u64);
+        tel.counter_add("wpa.hot_blocks", stats.hot_blocks as u64);
+        tel.counter_add("wpa.dcfg_edges", stats.dcfg_edges as u64);
+        wpa_span.set_peak_bytes(stats.modeled_peak_memory);
+    }
 
     WpaOutput {
         cluster_map,

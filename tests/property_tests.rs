@@ -35,8 +35,12 @@ fn arb_function(idx: usize) -> impl Strategy<Value = Vec<(Vec<Inst>, u8, u8, u8)
     })
 }
 
+/// Raw strategy output: per function, a list of
+/// `(insts, terminator kind, operand a, operand b)` blocks.
+type RawProgram = Vec<Vec<(Vec<Inst>, u8, u8, u8)>>;
+
 /// Builds a valid program from the raw strategy output.
-fn build_program(raw: Vec<Vec<(Vec<Inst>, u8, u8, u8)>>) -> Program {
+fn build_program(raw: RawProgram) -> Program {
     let mut pb = ProgramBuilder::new();
     let m = pb.add_module("prop.cc");
     for (fi, blocks) in raw.into_iter().enumerate() {
