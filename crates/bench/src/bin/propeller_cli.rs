@@ -8,14 +8,32 @@
 //!                   [--trace-out FILE]
 //!     Generate the benchmark, run the 4-phase pipeline, evaluate
 //!     against the baseline, and (with --out) write cc_prof.txt and
-//!     ld_prof.txt — the two artifacts of Figure 1. With --trace-out,
-//!     record telemetry for the whole run, write a Chrome Trace Event
-//!     Format JSON (load it at chrome://tracing or ui.perfetto.dev)
-//!     and print the span tree and metrics to stdout.
+//!     ld_prof.txt — the two artifacts of Figure 1 — plus
+//!     run_report.json, the machine-readable RunReport (deterministic
+//!     metrics, layout provenance, embedded telemetry snapshot). With
+//!     --trace-out, record telemetry for the whole run, write a Chrome
+//!     Trace Event Format JSON (load it at chrome://tracing or
+//!     ui.perfetto.dev) and print the span tree and metrics to stdout.
 //!
-//! propeller_cli compare <benchmark> [--scale S] [--seed N]
+//! propeller_cli doctor <benchmark> [--scale S] [--seed N]
+//!     Run the pipeline and audit the profile it consumed: hot-text
+//!     sample coverage, unmapped-address rate, fall-through inference
+//!     confidence, sample-capture ratio, and the stale-profile skew
+//!     score from re-simulating the optimized binary. Exits nonzero
+//!     when any dimension FAILs its threshold.
+//!
+//! propeller_cli compare <benchmark> [--scale S] [--seed N] [--json]
+//!                       [--out FILE]
 //!     Run both Propeller and the BOLT comparator on the same profile
-//!     and print the head-to-head summary.
+//!     and print the head-to-head summary. With --json, emit a
+//!     RunReport JSON (diffable with `propeller_cli diff`) instead;
+//!     --out writes it to FILE rather than stdout.
+//!
+//! propeller_cli diff <A.json> <B.json> [--tolerance PCT]
+//!     Diff two RunReports (baseline A, candidate B): metric deltas
+//!     with per-direction regression gating plus structural layout
+//!     changes. Exits nonzero when a gated metric worsened by more
+//!     than the tolerance (default 0) — the CI bench gate.
 //!
 //! propeller_cli dump <benchmark> [--scale S] [--seed N]
 //!     Print the generated program as an IR listing.
@@ -24,8 +42,9 @@
 //!     Print the optimized binary's linker map.
 //! ```
 
-use propeller::{Propeller, PropellerOptions};
+use propeller::{EvalReport, Propeller, PropellerOptions};
 use propeller_bench::{run_benchmark, RunConfig};
+use propeller_doctor::{audit_pipeline, diagnose, diff_reports, DoctorConfig, RunReport, Severity};
 use propeller_synth::{all_specs, generate, spec_by_name, GenParams};
 use propeller_telemetry::{chrome::to_chrome_trace, report::render_text, Telemetry};
 use propeller_wpa::cluster_map_to_text;
@@ -33,8 +52,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: propeller_cli <list | run <bench> | compare <bench> | dump <bench> | map <bench>> \
-         [--scale S] [--seed N] [--out DIR] [--trace-out FILE]"
+        "usage: propeller_cli <list | run <bench> | doctor <bench> | compare <bench> | \
+         diff <A.json> <B.json> | dump <bench> | map <bench>> \
+         [--scale S] [--seed N] [--out PATH] [--trace-out FILE] [--json] [--tolerance PCT]"
     );
     ExitCode::FAILURE
 }
@@ -58,6 +78,7 @@ struct Args {
     seed: u64,
     out: Option<String>,
     trace_out: Option<String>,
+    json: bool,
 }
 
 fn parse_args(mut rest: std::env::Args) -> Option<Args> {
@@ -68,6 +89,7 @@ fn parse_args(mut rest: std::env::Args) -> Option<Args> {
         seed: 0xA5_2023,
         out: None,
         trace_out: None,
+        json: false,
     };
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -75,10 +97,20 @@ fn parse_args(mut rest: std::env::Args) -> Option<Args> {
             "--seed" => args.seed = rest.next()?.parse().ok()?,
             "--out" => args.out = Some(rest.next()?),
             "--trace-out" => args.trace_out = Some(rest.next()?),
+            "--json" => args.json = true,
             _ => return None,
         }
     }
     Some(args)
+}
+
+fn write_file(path: &std::path::Path, contents: String) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return Err(ExitCode::FAILURE);
+    }
+    println!("wrote {}", path.display());
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -111,10 +143,11 @@ fn main() -> ExitCode {
                 eprintln!("unknown benchmark {:?} (try `list`)", args.benchmark);
                 return ExitCode::FAILURE;
             };
+            let scale = args.scale.unwrap_or(spec.default_scale);
             let gen = generate(
                 &spec,
                 &GenParams {
-                    scale: args.scale.unwrap_or(spec.default_scale),
+                    scale,
                     seed: args.seed,
                     funcs_per_module: 12,
                     entry_points: 4,
@@ -123,7 +156,9 @@ fn main() -> ExitCode {
             println!("{}: {}", spec.name, gen.program.stats());
             let mut pipeline =
                 Propeller::new(gen.program, gen.entries, PropellerOptions::default());
-            if args.trace_out.is_some() {
+            // `--out` embeds a metrics snapshot in the RunReport, so
+            // telemetry must be live for either output flag.
+            if args.trace_out.is_some() || args.out.is_some() {
                 pipeline.set_telemetry(Telemetry::enabled());
             }
             let report = match pipeline.run_all() {
@@ -154,34 +189,94 @@ fn main() -> ExitCode {
                 eval.baseline.cycles,
                 eval.optimized.cycles
             );
+            let trace = pipeline
+                .telemetry()
+                .is_enabled()
+                .then(|| pipeline.telemetry().drain());
             if let Some(path) = &args.trace_out {
-                let trace = pipeline.telemetry().drain();
-                if let Err(e) = std::fs::write(path, to_chrome_trace(&trace)) {
+                let trace = trace.as_ref().expect("telemetry enabled");
+                if let Err(e) = std::fs::write(path, to_chrome_trace(trace)) {
                     eprintln!("cannot write {path}: {e}");
                     return ExitCode::FAILURE;
                 }
                 println!("wrote {path} (open at chrome://tracing or ui.perfetto.dev)\n");
-                print!("{}", render_text(&trace));
+                print!("{}", render_text(trace));
             }
             if let Some(dir) = args.out {
-                let wpa = pipeline.wpa_output().expect("phase 3 ran");
                 let dir = std::path::Path::new(&dir);
                 if let Err(e) = std::fs::create_dir_all(dir) {
                     eprintln!("cannot create {}: {e}", dir.display());
                     return ExitCode::FAILURE;
                 }
+                let wpa = pipeline.wpa_output().expect("phase 3 ran");
                 let cc = cluster_map_to_text(&wpa.cluster_map, pipeline.program());
                 let ld = wpa.symbol_order.to_file_contents();
-                for (name, contents) in [("cc_prof.txt", cc), ("ld_prof.txt", ld)] {
-                    let path = dir.join(name);
-                    if let Err(e) = std::fs::write(&path, contents) {
-                        eprintln!("cannot write {}: {e}", path.display());
+                let audit = match audit_pipeline(&pipeline) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        eprintln!("audit failed: {e}");
                         return ExitCode::FAILURE;
                     }
-                    println!("wrote {}", path.display());
+                };
+                let run_report = RunReport::collect(
+                    spec.name,
+                    scale,
+                    args.seed,
+                    &pipeline,
+                    &report,
+                    Some(&eval),
+                    Some(&audit),
+                    trace.map(|t| t.metrics),
+                );
+                for (name, contents) in [
+                    ("cc_prof.txt", cc),
+                    ("ld_prof.txt", ld),
+                    ("run_report.json", run_report.to_json_string()),
+                ] {
+                    if let Err(code) = write_file(&dir.join(name), contents) {
+                        return code;
+                    }
                 }
             }
             ExitCode::SUCCESS
+        }
+        Some("doctor") => {
+            let Some(args) = parse_args(argv) else {
+                return usage();
+            };
+            let Some(spec) = spec_by_name(&args.benchmark) else {
+                eprintln!("unknown benchmark {:?} (try `list`)", args.benchmark);
+                return ExitCode::FAILURE;
+            };
+            let gen = generate(
+                &spec,
+                &GenParams {
+                    scale: args.scale.unwrap_or(spec.default_scale),
+                    seed: args.seed,
+                    funcs_per_module: 12,
+                    entry_points: 4,
+                },
+            );
+            let mut pipeline =
+                Propeller::new(gen.program, gen.entries, PropellerOptions::default());
+            if let Err(e) = pipeline.run_all() {
+                eprintln!("pipeline failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            let audit = match audit_pipeline(&pipeline) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("audit failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let findings = diagnose(&audit, &DoctorConfig::default());
+            print!("{}", propeller_doctor::render(&findings));
+            if propeller_doctor::worst(&findings) == Severity::Fail {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Some("compare") => {
             let Some(args) = parse_args(argv) else {
@@ -195,6 +290,41 @@ fn main() -> ExitCode {
                 cfg.scale_mult = s; // multiplier on the spec default
             }
             let a = run_benchmark(&args.benchmark, &cfg);
+            if args.json {
+                let eval = EvalReport {
+                    baseline: a.base_counters,
+                    optimized: a.prop_counters,
+                };
+                let audit = audit_pipeline(&a.pipeline).ok();
+                let mut run_report = RunReport::collect(
+                    a.spec.name,
+                    a.scale,
+                    args.seed,
+                    &a.pipeline,
+                    &a.report,
+                    Some(&eval),
+                    audit.as_ref(),
+                    None,
+                );
+                if let (Ok(out), Some(c)) = (&a.bolt, &a.bolt_counters) {
+                    if !out.crash_on_startup {
+                        run_report.metrics.insert(
+                            "bolt.speedup_pct".into(),
+                            c.speedup_pct_over(&a.base_counters),
+                        );
+                    }
+                }
+                let text = run_report.to_json_string();
+                match &args.out {
+                    Some(path) => {
+                        if let Err(code) = write_file(std::path::Path::new(path), text) {
+                            return code;
+                        }
+                    }
+                    None => print!("{text}"),
+                }
+                return ExitCode::SUCCESS;
+            }
             println!(
                 "{} ({}): Propeller {:+.2}%",
                 a.spec.name,
@@ -212,6 +342,51 @@ fn main() -> ExitCode {
                 (Err(e), _) => println!("{}: BOLT failed: {e}", a.spec.name),
             }
             ExitCode::SUCCESS
+        }
+        Some("diff") => {
+            let Some(path_a) = argv.next() else {
+                return usage();
+            };
+            let Some(path_b) = argv.next() else {
+                return usage();
+            };
+            let mut tolerance = 0.0f64;
+            while let Some(flag) = argv.next() {
+                match flag.as_str() {
+                    "--tolerance" => {
+                        let Some(t) = argv.next().and_then(|t| t.parse().ok()) else {
+                            return usage();
+                        };
+                        tolerance = t;
+                    }
+                    _ => return usage(),
+                }
+            }
+            let load = |path: &str| -> Result<RunReport, ExitCode> {
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                })?;
+                RunReport::parse(&text).map_err(|e| {
+                    eprintln!("cannot parse {path}: {e}");
+                    ExitCode::FAILURE
+                })
+            };
+            let a = match load(&path_a) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            let b = match load(&path_b) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            let d = diff_reports(&a, &b, tolerance);
+            print!("{}", d.render());
+            if d.has_regression() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Some("dump") => {
             let Some(args) = parse_args(argv) else {

@@ -12,7 +12,7 @@ use propeller_ir::{FunctionId, Program};
 use propeller_linker::{link_traced, LinkInput, LinkOptions, LinkedBinary};
 use propeller_obj::ContentHash;
 use propeller_profile::{HardwareProfile, SamplingConfig};
-use propeller_sim::{simulate_traced, ProgramImage, SimOptions, UarchConfig, Workload};
+use propeller_sim::{simulate_traced, CounterSet, ProgramImage, SimOptions, UarchConfig, Workload};
 use propeller_telemetry::{SpanId, Telemetry};
 use propeller_wpa::{apply_prefetches, prefetch_directives, run_wpa_traced, WpaOptions, WpaOutput};
 use std::sync::Arc;
@@ -103,6 +103,10 @@ pub struct Propeller {
     /// The program Phase 4 regenerated from (prefetch-augmented when
     /// the §3.5 pass is enabled).
     phase4_program: Option<Arc<Program>>,
+    /// Counters of the Phase 3 profiling run — the `perf stat` view of
+    /// the same execution `perf record` sampled; profile-quality audits
+    /// compare the profile against these.
+    profiled_counters: Option<CounterSet>,
     call_misses: Option<std::collections::HashMap<(u64, u64), u64>>,
     times: PhaseTimes,
     hot_module_fraction: f64,
@@ -160,6 +164,7 @@ impl Propeller {
             wpa_output: None,
             po_binary: None,
             phase4_program: None,
+            profiled_counters: None,
             call_misses: None,
             times: PhaseTimes::default(),
             hot_module_fraction: 0.0,
@@ -202,6 +207,22 @@ impl Propeller {
     /// The WPA output, if Phase 3 ran.
     pub fn wpa_output(&self) -> Option<&WpaOutput> {
         self.wpa_output.as_ref()
+    }
+
+    /// Simulator counters of the Phase 3 profiling run, if it ran.
+    pub fn profiled_counters(&self) -> Option<&CounterSet> {
+        self.profiled_counters.as_ref()
+    }
+
+    /// The program Phase 4 regenerated from (prefetch-augmented when
+    /// that pass is on), if Phase 4 ran.
+    pub fn phase4_program(&self) -> Option<&Arc<Program>> {
+        self.phase4_program.as_ref()
+    }
+
+    /// The pipeline's configuration.
+    pub fn options(&self) -> &PropellerOptions {
+        &self.opts
     }
 
     /// Per-phase times so far.
@@ -424,6 +445,7 @@ impl Propeller {
             span_id,
         );
         self.call_misses = run.call_misses;
+        self.profiled_counters = Some(run.counters);
         let profile = run.profile.expect("sampling enabled");
         let wpa = run_wpa_traced(&self.program, &pm, &profile, &self.opts.wpa, &self.tel, span_id);
         let cpu = self.opts.cost.profile_conversion_secs(profile.raw_size_bytes())
@@ -574,6 +596,7 @@ impl Propeller {
             object_cache: self.caches.object_stats(),
             hot_module_fraction: self.hot_module_fraction,
             hot_functions: wpa.stats.hot_functions,
+            wpa: wpa.stats,
             deleted_jumps: po.stats.deleted_jumps,
             shrunk_branches: po.stats.shrunk_branches,
             optimized_binary_name: po.name.clone(),

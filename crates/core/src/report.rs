@@ -2,6 +2,7 @@
 
 use propeller_buildsys::{CacheStats, PhaseReport};
 use propeller_sim::CounterSet;
+use propeller_wpa::WpaStats;
 
 /// Wall/CPU time and memory of the four phases (the Table 5 columns).
 #[derive(Copy, Clone, PartialEq, Debug, Default)]
@@ -38,6 +39,9 @@ pub struct PropellerReport {
     pub hot_module_fraction: f64,
     /// Hot functions found by WPA.
     pub hot_functions: usize,
+    /// Full Phase 3 whole-program-analysis statistics (coverage inputs:
+    /// skipped functions, unmapped addresses, DCFG size).
+    pub wpa: WpaStats,
     /// Relaxation statistics of the final relink.
     pub deleted_jumps: u64,
     /// Branches shrunk by the final relink.

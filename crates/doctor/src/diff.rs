@@ -1,0 +1,440 @@
+//! Structural and metric diffs between two [`RunReport`]s — the bench
+//! regression gate.
+//!
+//! Only the `metrics` map is gated: each key has a known *direction*
+//! (higher-better, lower-better, or informational), and a change in the
+//! bad direction beyond the tolerance is a regression. Wall times and
+//! layout changes are reported but never fail the gate — layouts are
+//! *expected* to change when the optimizer improves.
+
+use crate::report::RunReport;
+use propeller_wpa::FunctionProvenance;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Which way a metric is allowed to move freely.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Shrinking is a regression.
+    HigherBetter,
+    /// Growing is a regression.
+    LowerBetter,
+    /// Neither direction gates.
+    Informational,
+}
+
+/// The gate direction of a metric key.
+///
+/// Exact names are matched first; unknown keys fall back to substring
+/// heuristics, and anything still ambiguous is informational — the gate
+/// never guesses a direction to fail on.
+pub fn direction_of(key: &str) -> Direction {
+    match key {
+        "doctor.sample_coverage"
+        | "doctor.fallthrough_confidence"
+        | "doctor.sample_capture_ratio"
+        | "eval.speedup_pct"
+        | "eval.base_ipc"
+        | "eval.opt_ipc"
+        | "cache.ir_hit_rate"
+        | "cache.obj_hit_rate" => Direction::HigherBetter,
+        "doctor.skew"
+        | "doctor.unmapped_rate"
+        | "mapper.skipped_funcs"
+        | "mapper.unmapped_addrs"
+        | "eval.opt_cycles"
+        | "eval.l1i_miss_delta_pct"
+        | "eval.itlb_miss_delta_pct"
+        | "eval.baclears_delta_pct" => Direction::LowerBetter,
+        k if k.ends_with("_hit_rate") || k.ends_with("coverage") => Direction::HigherBetter,
+        k if k.contains("miss") || k.contains("unmapped") || k.contains("skew") => {
+            Direction::LowerBetter
+        }
+        _ => Direction::Informational,
+    }
+}
+
+/// One changed metric.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MetricDelta {
+    /// Metric key.
+    pub key: String,
+    /// Value in report A (the baseline).
+    pub a: f64,
+    /// Value in report B (the candidate).
+    pub b: f64,
+    /// Relative change in percent (`(b - a) / |a| * 100`; ±100 when `a`
+    /// is zero).
+    pub delta_pct: f64,
+    /// The key's gate direction.
+    pub direction: Direction,
+    /// Whether the change exceeds the tolerance in the bad direction.
+    pub regression: bool,
+}
+
+/// One structural layout difference.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LayoutChange {
+    /// The function whose layout changed.
+    pub func_symbol: String,
+    /// What changed, human-readable.
+    pub what: String,
+}
+
+/// Everything that differs between two reports.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct DiffReport {
+    /// Changed metrics (only keys present in both reports).
+    pub deltas: Vec<MetricDelta>,
+    /// Metric keys only report A has.
+    pub only_in_a: Vec<String>,
+    /// Metric keys only report B has.
+    pub only_in_b: Vec<String>,
+    /// Changed wall figures (never gate).
+    pub wall_deltas: Vec<MetricDelta>,
+    /// Structural layout differences (never gate).
+    pub layout_changes: Vec<LayoutChange>,
+    /// The tolerance the diff was computed at, in percent.
+    pub tolerance_pct: f64,
+}
+
+impl DiffReport {
+    /// True when nothing at all differs — `diff(A, A)` at any
+    /// tolerance.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+            && self.only_in_a.is_empty()
+            && self.only_in_b.is_empty()
+            && self.wall_deltas.is_empty()
+            && self.layout_changes.is_empty()
+    }
+
+    /// True when any gated metric moved in the bad direction beyond the
+    /// tolerance.
+    pub fn has_regression(&self) -> bool {
+        self.deltas.iter().any(|d| d.regression)
+    }
+
+    /// Renders the diff for terminal output.
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return "reports are identical\n".to_string();
+        }
+        let mut out = String::new();
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "  {:<30} {:>12.4} -> {:>12.4} ({:+.2}%){}",
+                d.key,
+                d.a,
+                d.b,
+                d.delta_pct,
+                if d.regression { "  REGRESSION" } else { "" }
+            );
+        }
+        for k in &self.only_in_a {
+            let _ = writeln!(out, "  {k:<30} only in baseline report");
+        }
+        for k in &self.only_in_b {
+            let _ = writeln!(out, "  {k:<30} only in candidate report");
+        }
+        for d in &self.wall_deltas {
+            let _ = writeln!(
+                out,
+                "  {:<30} {:>12.4} -> {:>12.4} ({:+.2}%)  [wall, not gated]",
+                d.key, d.a, d.b, d.delta_pct
+            );
+        }
+        for c in &self.layout_changes {
+            let _ = writeln!(out, "  layout {:<23} {}", c.func_symbol, c.what);
+        }
+        let _ = writeln!(
+            out,
+            "{} metric change(s), {} layout change(s), tolerance {}%: {}",
+            self.deltas.len(),
+            self.layout_changes.len(),
+            self.tolerance_pct,
+            if self.has_regression() {
+                "REGRESSION"
+            } else {
+                "ok"
+            }
+        );
+        out
+    }
+}
+
+fn relative_delta_pct(a: f64, b: f64) -> f64 {
+    if a == 0.0 {
+        if b == 0.0 {
+            0.0
+        } else {
+            100.0 * b.signum()
+        }
+    } else {
+        (b - a) / a.abs() * 100.0
+    }
+}
+
+fn diff_metric_maps(
+    a: &BTreeMap<String, f64>,
+    b: &BTreeMap<String, f64>,
+    tolerance_pct: f64,
+    gated: bool,
+) -> (Vec<MetricDelta>, Vec<String>, Vec<String>) {
+    let mut deltas = Vec::new();
+    let mut only_a = Vec::new();
+    let mut only_b = Vec::new();
+    for (k, &va) in a {
+        let Some(&vb) = b.get(k) else {
+            only_a.push(k.clone());
+            continue;
+        };
+        if va == vb {
+            continue;
+        }
+        let direction = if gated {
+            direction_of(k)
+        } else {
+            Direction::Informational
+        };
+        let delta_pct = relative_delta_pct(va, vb);
+        // A worsening move must exceed the tolerance to gate. The
+        // magnitude compared is the size of the *bad* move relative to
+        // the baseline, so tolerance 0 gates every worsening change.
+        let regression = match direction {
+            Direction::HigherBetter => vb < va && -delta_pct > tolerance_pct,
+            Direction::LowerBetter => vb > va && delta_pct > tolerance_pct,
+            Direction::Informational => false,
+        };
+        deltas.push(MetricDelta {
+            key: k.clone(),
+            a: va,
+            b: vb,
+            delta_pct,
+            direction,
+            regression,
+        });
+    }
+    for k in b.keys() {
+        if !a.contains_key(k) {
+            only_b.push(k.clone());
+        }
+    }
+    (deltas, only_a, only_b)
+}
+
+fn diff_layouts(a: &[FunctionProvenance], b: &[FunctionProvenance]) -> Vec<LayoutChange> {
+    let index = |fs: &[FunctionProvenance]| -> BTreeMap<String, FunctionProvenance> {
+        fs.iter().map(|f| (f.func_symbol.clone(), f.clone())).collect()
+    };
+    let fa = index(a);
+    let fb = index(b);
+    let mut changes = Vec::new();
+    for (symbol, f) in &fa {
+        let Some(g) = fb.get(symbol) else {
+            changes.push(LayoutChange {
+                func_symbol: symbol.clone(),
+                what: "no longer hot (dropped from layout)".into(),
+            });
+            continue;
+        };
+        let ca: Vec<(&str, &[u32])> = f
+            .clusters
+            .iter()
+            .map(|c| (c.symbol.as_str(), c.blocks.as_slice()))
+            .collect();
+        let cb: Vec<(&str, &[u32])> = g
+            .clusters
+            .iter()
+            .map(|c| (c.symbol.as_str(), c.blocks.as_slice()))
+            .collect();
+        if ca != cb {
+            changes.push(LayoutChange {
+                func_symbol: symbol.clone(),
+                what: format!(
+                    "cluster plan changed ({} -> {} clusters)",
+                    f.clusters.len(),
+                    g.clusters.len()
+                ),
+            });
+        }
+        for (c, d) in f.clusters.iter().zip(&g.clusters) {
+            if c.symbol == d.symbol && c.symbol_order_pos != d.symbol_order_pos {
+                changes.push(LayoutChange {
+                    func_symbol: symbol.clone(),
+                    what: format!(
+                        "{} moved in symbol order: {:?} -> {:?}",
+                        c.symbol, c.symbol_order_pos, d.symbol_order_pos
+                    ),
+                });
+            }
+        }
+    }
+    for symbol in fb.keys() {
+        if !fa.contains_key(symbol) {
+            changes.push(LayoutChange {
+                func_symbol: symbol.clone(),
+                what: "newly hot (added to layout)".into(),
+            });
+        }
+    }
+    changes
+}
+
+/// Diffs candidate report `b` against baseline report `a` at the given
+/// tolerance (percent). Gated metrics moving in their bad direction by
+/// more than `tolerance_pct` mark the diff as a regression.
+pub fn diff_reports(a: &RunReport, b: &RunReport, tolerance_pct: f64) -> DiffReport {
+    let (deltas, only_in_a, only_in_b) =
+        diff_metric_maps(&a.metrics, &b.metrics, tolerance_pct, true);
+    let (wall_deltas, wall_only_a, wall_only_b) =
+        diff_metric_maps(&a.wall, &b.wall, tolerance_pct, false);
+    let mut only_in_a = only_in_a;
+    let mut only_in_b = only_in_b;
+    only_in_a.extend(wall_only_a);
+    only_in_b.extend(wall_only_b);
+    DiffReport {
+        deltas,
+        only_in_a,
+        only_in_b,
+        wall_deltas,
+        layout_changes: diff_layouts(&a.layout.functions, &b.layout.functions),
+        tolerance_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_wpa::ClusterProvenance;
+
+    fn report_with(metrics: &[(&str, f64)]) -> RunReport {
+        let mut r = RunReport {
+            benchmark: "x".into(),
+            scale: 1.0,
+            seed: 1,
+            ..RunReport::default()
+        };
+        for (k, v) in metrics {
+            r.metrics.insert((*k).into(), *v);
+        }
+        r
+    }
+
+    #[test]
+    fn self_diff_is_empty_at_zero_tolerance() {
+        let mut r = report_with(&[("eval.speedup_pct", 5.0), ("doctor.skew", 0.1)]);
+        r.wall.insert("total.wall_secs".into(), 9.0);
+        r.layout.functions.push(FunctionProvenance {
+            func_symbol: "f".into(),
+            total_samples: 10,
+            hot_blocks: 2,
+            cold_blocks: 0,
+            merge_gains: vec![1.0],
+            layout_score: 2.0,
+            input_score: 1.0,
+            used_input_order: false,
+            clusters: vec![ClusterProvenance {
+                symbol: "f".into(),
+                blocks: vec![0, 1],
+                weight: 10,
+                size: 20,
+                cold: false,
+                symbol_order_pos: Some(0),
+            }],
+        });
+        let d = diff_reports(&r, &r, 0.0);
+        assert!(d.is_empty());
+        assert!(!d.has_regression());
+        assert!(d.render().contains("identical"));
+    }
+
+    #[test]
+    fn speedup_drop_beyond_tolerance_regresses() {
+        let a = report_with(&[("eval.speedup_pct", 10.0)]);
+        let b = report_with(&[("eval.speedup_pct", 9.0)]);
+        // 10% relative drop: beyond a 5% tolerance, within a 20% one.
+        assert!(diff_reports(&a, &b, 5.0).has_regression());
+        assert!(!diff_reports(&a, &b, 20.0).has_regression());
+        // An *improvement* never regresses.
+        assert!(!diff_reports(&b, &a, 0.0).has_regression());
+    }
+
+    #[test]
+    fn lower_better_metrics_gate_on_growth() {
+        let a = report_with(&[("doctor.unmapped_rate", 0.01)]);
+        let b = report_with(&[("doctor.unmapped_rate", 0.05)]);
+        assert!(diff_reports(&a, &b, 10.0).has_regression());
+        assert!(!diff_reports(&b, &a, 0.0).has_regression());
+    }
+
+    #[test]
+    fn informational_and_wall_changes_never_gate() {
+        let mut a = report_with(&[("wpa.hot_functions", 10.0)]);
+        let mut b = report_with(&[("wpa.hot_functions", 50.0)]);
+        a.wall.insert("total.wall_secs".into(), 1.0);
+        b.wall.insert("total.wall_secs".into(), 99.0);
+        let d = diff_reports(&a, &b, 0.0);
+        assert!(!d.has_regression());
+        assert_eq!(d.deltas.len(), 1);
+        assert_eq!(d.wall_deltas.len(), 1);
+    }
+
+    #[test]
+    fn missing_keys_are_reported_not_gated() {
+        let a = report_with(&[("doctor.skew", 0.1), ("eval.speedup_pct", 5.0)]);
+        let b = report_with(&[("eval.speedup_pct", 5.0), ("new.metric", 1.0)]);
+        let d = diff_reports(&a, &b, 0.0);
+        assert_eq!(d.only_in_a, vec!["doctor.skew".to_string()]);
+        assert_eq!(d.only_in_b, vec!["new.metric".to_string()]);
+        assert!(!d.has_regression());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn layout_changes_are_structural() {
+        let mk = |blocks: Vec<u32>, pos: Option<usize>| FunctionProvenance {
+            func_symbol: "f".into(),
+            total_samples: 10,
+            hot_blocks: blocks.len(),
+            cold_blocks: 0,
+            merge_gains: vec![],
+            layout_score: 0.0,
+            input_score: 0.0,
+            used_input_order: true,
+            clusters: vec![ClusterProvenance {
+                symbol: "f".into(),
+                blocks,
+                weight: 10,
+                size: 20,
+                cold: false,
+                symbol_order_pos: pos,
+            }],
+        };
+        let mut a = report_with(&[]);
+        a.layout.functions.push(mk(vec![0, 1, 2], Some(3)));
+        let mut b = report_with(&[]);
+        b.layout.functions.push(mk(vec![0, 2, 1], Some(5)));
+        let d = diff_reports(&a, &b, 0.0);
+        assert_eq!(d.layout_changes.len(), 2, "block order + order pos");
+        assert!(!d.has_regression());
+        let mut c = report_with(&[]);
+        c.layout.functions.push({
+            let mut f = mk(vec![0, 1, 2], Some(3));
+            f.func_symbol = "g".into();
+            f
+        });
+        let d2 = diff_reports(&a, &c, 0.0);
+        assert_eq!(d2.layout_changes.len(), 2, "f dropped, g added");
+    }
+
+    #[test]
+    fn zero_baseline_uses_signed_full_delta() {
+        let a = report_with(&[("mapper.unmapped_addrs", 0.0)]);
+        let b = report_with(&[("mapper.unmapped_addrs", 3.0)]);
+        let d = diff_reports(&a, &b, 50.0);
+        assert!((d.deltas[0].delta_pct - 100.0).abs() < 1e-12);
+        assert!(d.has_regression());
+    }
+}

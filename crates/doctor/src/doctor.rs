@@ -1,0 +1,287 @@
+//! Turning a [`ProfileAudit`] into a human-readable verdict with
+//! WARN/FAIL thresholds.
+
+use crate::audit::ProfileAudit;
+use std::fmt::Write as _;
+
+/// How bad a finding is.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Within thresholds.
+    Ok,
+    /// Degraded but usable; layout quality is probably reduced.
+    Warn,
+    /// The profile should not be trusted to drive a layout.
+    Fail,
+}
+
+impl Severity {
+    /// Fixed-width label for report rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Ok => "OK  ",
+            Severity::Warn => "WARN",
+            Severity::Fail => "FAIL",
+        }
+    }
+}
+
+/// One audited dimension's verdict.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Finding {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// The metric key this verdict is about (matches the `RunReport`
+    /// metric name).
+    pub metric: String,
+    /// The observed value.
+    pub value: f64,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// WARN/FAIL thresholds for each audited dimension.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct DoctorConfig {
+    /// Coverage below this warns (default 0.90).
+    pub coverage_warn: f64,
+    /// Coverage below this fails (default 0.75).
+    pub coverage_fail: f64,
+    /// Unmapped-address rate above this warns (default 0.01).
+    pub unmapped_warn: f64,
+    /// Unmapped-address rate above this fails (default 0.10).
+    pub unmapped_fail: f64,
+    /// Fall-through confidence below this warns (default 0.95).
+    pub fallthrough_warn: f64,
+    /// Sample-capture ratio below this warns (default 0.90).
+    pub capture_warn: f64,
+    /// Sample-capture ratio below this fails (default 0.50).
+    pub capture_fail: f64,
+    /// Skew score above this warns (default 0.40 — fresh profiles
+    /// re-simulated over ~50k events sit near 0.25 from sampling noise
+    /// alone, so the bar must clear that floor).
+    pub skew_warn: f64,
+    /// Skew score above this fails (default 0.70).
+    pub skew_fail: f64,
+}
+
+impl Default for DoctorConfig {
+    fn default() -> Self {
+        DoctorConfig {
+            coverage_warn: 0.90,
+            coverage_fail: 0.75,
+            unmapped_warn: 0.01,
+            unmapped_fail: 0.10,
+            fallthrough_warn: 0.95,
+            capture_warn: 0.90,
+            capture_fail: 0.50,
+            skew_warn: 0.40,
+            skew_fail: 0.70,
+        }
+    }
+}
+
+/// Grades a value where *low* is bad.
+fn grade_low(v: f64, warn: f64, fail: Option<f64>) -> Severity {
+    match fail {
+        Some(f) if v < f => Severity::Fail,
+        _ if v < warn => Severity::Warn,
+        _ => Severity::Ok,
+    }
+}
+
+/// Grades a value where *high* is bad.
+fn grade_high(v: f64, warn: f64, fail: f64) -> Severity {
+    if v > fail {
+        Severity::Fail
+    } else if v > warn {
+        Severity::Warn
+    } else {
+        Severity::Ok
+    }
+}
+
+/// Evaluates every audited dimension against `cfg`, in a fixed order.
+pub fn diagnose(audit: &ProfileAudit, cfg: &DoctorConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    out.push(Finding {
+        severity: grade_low(
+            audit.sample_coverage,
+            cfg.coverage_warn,
+            Some(cfg.coverage_fail),
+        ),
+        metric: "doctor.sample_coverage".into(),
+        value: audit.sample_coverage,
+        message: format!(
+            "{:.1}% of hot text bytes received mapped samples \
+             ({}/{} bytes)",
+            audit.sample_coverage * 100.0,
+            audit.covered_bytes,
+            audit.auditable_bytes
+        ),
+    });
+    out.push(Finding {
+        severity: grade_high(audit.unmapped_rate, cfg.unmapped_warn, cfg.unmapped_fail),
+        metric: "doctor.unmapped_rate".into(),
+        value: audit.unmapped_rate,
+        message: format!(
+            "{:.2}% of sample mass hit addresses with no mapped block \
+             ({}/{} weighted lookups)",
+            audit.unmapped_rate * 100.0,
+            audit.addr_unmapped,
+            audit.addr_lookups
+        ),
+    });
+    out.push(Finding {
+        severity: grade_low(audit.fallthrough_confidence, cfg.fallthrough_warn, None),
+        metric: "doctor.fallthrough_confidence".into(),
+        value: audit.fallthrough_confidence,
+        message: format!(
+            "{:.1}% of fall-through range weight is well-formed \
+             (ordered, mapped, single-function)",
+            audit.fallthrough_confidence * 100.0
+        ),
+    });
+    out.push(Finding {
+        severity: grade_low(
+            audit.sample_capture_ratio,
+            cfg.capture_warn,
+            Some(cfg.capture_fail),
+        ),
+        metric: "doctor.sample_capture_ratio".into(),
+        value: audit.sample_capture_ratio,
+        message: format!(
+            "{} samples captured of ~{} expected from the run's \
+             taken-branch count",
+            audit.num_samples, audit.expected_samples
+        ),
+    });
+    if let Some(skew) = audit.skew {
+        out.push(Finding {
+            severity: grade_high(skew, cfg.skew_warn, cfg.skew_fail),
+            metric: "doctor.skew".into(),
+            value: skew,
+            message: format!(
+                "profile-vs-optimized edge distributions differ by \
+                 {:.1}% total variation",
+                skew * 100.0
+            ),
+        });
+    }
+    out.push(Finding {
+        severity: if audit.skipped_funcs > 0 {
+            Severity::Warn
+        } else {
+            Severity::Ok
+        },
+        metric: "mapper.skipped_funcs".into(),
+        value: audit.skipped_funcs as f64,
+        message: format!(
+            "{} address-map function(s) dropped because no range symbol \
+             resolved",
+            audit.skipped_funcs
+        ),
+    });
+    out
+}
+
+/// The worst severity across findings ([`Severity::Ok`] when empty).
+pub fn worst(findings: &[Finding]) -> Severity {
+    findings
+        .iter()
+        .map(|f| f.severity)
+        .max()
+        .unwrap_or(Severity::Ok)
+}
+
+/// Renders the findings as the `propeller_cli doctor` report.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from("profile-quality audit\n");
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "  [{}] {:<30} {:>10.4}  {}",
+            f.severity.label(),
+            f.metric,
+            f.value,
+            f.message
+        );
+    }
+    let verdict = worst(findings);
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        match verdict {
+            Severity::Ok => "profile is healthy",
+            Severity::Warn => "profile is degraded (see WARN lines)",
+            Severity::Fail => "profile should not be trusted (see FAIL lines)",
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> ProfileAudit {
+        ProfileAudit {
+            sample_coverage: 0.97,
+            covered_bytes: 970,
+            auditable_bytes: 1000,
+            unmapped_rate: 0.0,
+            addr_lookups: 5000,
+            addr_unmapped: 0,
+            skipped_funcs: 0,
+            fallthrough_confidence: 1.0,
+            sample_capture_ratio: 1.0,
+            num_samples: 100,
+            expected_samples: 100,
+            skew: Some(0.02),
+        }
+    }
+
+    #[test]
+    fn healthy_audit_is_all_ok() {
+        let findings = diagnose(&healthy(), &DoctorConfig::default());
+        assert!(findings.iter().all(|f| f.severity == Severity::Ok));
+        assert_eq!(worst(&findings), Severity::Ok);
+        assert!(render(&findings).contains("profile is healthy"));
+    }
+
+    #[test]
+    fn low_coverage_warns_then_fails() {
+        let cfg = DoctorConfig::default();
+        let mut a = healthy();
+        a.sample_coverage = 0.85;
+        let f = diagnose(&a, &cfg);
+        assert_eq!(
+            f.iter().find(|f| f.metric == "doctor.sample_coverage").unwrap().severity,
+            Severity::Warn
+        );
+        a.sample_coverage = 0.5;
+        assert_eq!(worst(&diagnose(&a, &cfg)), Severity::Fail);
+    }
+
+    #[test]
+    fn truncation_and_unmapped_mass_fail() {
+        let cfg = DoctorConfig::default();
+        let mut a = healthy();
+        a.sample_capture_ratio = 0.4;
+        assert_eq!(worst(&diagnose(&a, &cfg)), Severity::Fail);
+        let mut b = healthy();
+        b.unmapped_rate = 0.2;
+        assert_eq!(worst(&diagnose(&b, &cfg)), Severity::Fail);
+    }
+
+    #[test]
+    fn skew_absent_until_measured_and_skipped_funcs_warn() {
+        let mut a = healthy();
+        a.skew = None;
+        a.skipped_funcs = 2;
+        let f = diagnose(&a, &DoctorConfig::default());
+        assert!(f.iter().all(|f| f.metric != "doctor.skew"));
+        assert_eq!(worst(&f), Severity::Warn);
+        assert!(render(&f).contains("degraded"));
+    }
+}

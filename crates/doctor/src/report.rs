@@ -1,0 +1,444 @@
+//! The machine-readable `RunReport`: one JSON artifact per pipeline
+//! run, carrying deterministic metrics (the regression-gate surface),
+//! modeled wall times (informational), full layout provenance, and an
+//! optional embedded telemetry snapshot.
+//!
+//! `metrics` and `wall` are deliberately separate maps: everything in
+//! `metrics` is a pure function of (program, seed, options) and safe to
+//! gate CI on; `wall` figures come from the cost model's scheduling and
+//! are reported but never treated as regressions by [`crate::diff`].
+
+use crate::audit::ProfileAudit;
+use propeller::{EvalReport, Propeller, PropellerReport};
+use propeller_telemetry::{JsonValue, MetricsSnapshot};
+use propeller_wpa::{ClusterProvenance, FunctionProvenance, LayoutProvenance};
+use std::collections::BTreeMap;
+
+/// One run's machine-readable report.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct RunReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scale the benchmark was generated at.
+    pub scale: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Deterministic metrics by name — the diffable, gateable surface.
+    pub metrics: BTreeMap<String, f64>,
+    /// Modeled wall-clock figures by name (informational only).
+    pub wall: BTreeMap<String, f64>,
+    /// Per-hot-function layout decisions.
+    pub layout: LayoutProvenance,
+    /// Embedded metrics-registry snapshot, when telemetry was on.
+    pub telemetry: Option<MetricsSnapshot>,
+}
+
+impl RunReport {
+    /// Assembles a report from a completed pipeline.
+    ///
+    /// `eval`, `audit` and `telemetry` are optional: each adds its
+    /// metric family when present (`eval.*`, `doctor.*`, and the
+    /// embedded snapshot respectively).
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect(
+        benchmark: &str,
+        scale: f64,
+        seed: u64,
+        pipeline: &Propeller,
+        summary: &PropellerReport,
+        eval: Option<&EvalReport>,
+        audit: Option<&ProfileAudit>,
+        telemetry: Option<MetricsSnapshot>,
+    ) -> RunReport {
+        let mut m = BTreeMap::new();
+        let w = &summary.wpa;
+        m.insert("wpa.functions_seen".into(), w.functions_seen as f64);
+        m.insert("wpa.hot_functions".into(), w.hot_functions as f64);
+        m.insert("wpa.hot_blocks".into(), w.hot_blocks as f64);
+        m.insert("wpa.dcfg_edges".into(), w.dcfg_edges as f64);
+        m.insert("wpa.profile_bytes".into(), w.profile_bytes as f64);
+        m.insert(
+            "wpa.modeled_peak_memory".into(),
+            w.modeled_peak_memory as f64,
+        );
+        m.insert("mapper.skipped_funcs".into(), w.skipped_funcs as f64);
+        m.insert("mapper.addr_lookups".into(), w.addr_lookups as f64);
+        m.insert("mapper.unmapped_addrs".into(), w.addr_unmapped as f64);
+        m.insert(
+            "cache.ir_hit_rate".into(),
+            hit_rate(summary.ir_cache.hits, summary.ir_cache.lookups),
+        );
+        m.insert(
+            "cache.obj_hit_rate".into(),
+            hit_rate(summary.object_cache.hits, summary.object_cache.lookups),
+        );
+        m.insert(
+            "hot_module_fraction".into(),
+            summary.hot_module_fraction,
+        );
+        m.insert("relax.deleted_jumps".into(), summary.deleted_jumps as f64);
+        m.insert(
+            "relax.shrunk_branches".into(),
+            summary.shrunk_branches as f64,
+        );
+        if let Some(e) = eval {
+            m.insert("eval.speedup_pct".into(), e.speedup_pct());
+            m.insert("eval.base_cycles".into(), e.baseline.cycles as f64);
+            m.insert("eval.opt_cycles".into(), e.optimized.cycles as f64);
+            m.insert("eval.base_ipc".into(), e.baseline.ipc());
+            m.insert("eval.opt_ipc".into(), e.optimized.ipc());
+            m.insert(
+                "eval.l1i_miss_delta_pct".into(),
+                e.optimized.delta_pct(&e.baseline, |c| c.l1i_misses),
+            );
+            m.insert(
+                "eval.itlb_miss_delta_pct".into(),
+                e.optimized.delta_pct(&e.baseline, |c| c.itlb_misses),
+            );
+            m.insert(
+                "eval.baclears_delta_pct".into(),
+                e.optimized.delta_pct(&e.baseline, |c| c.baclears),
+            );
+        }
+        if let Some(a) = audit {
+            m.insert("doctor.sample_coverage".into(), a.sample_coverage);
+            m.insert("doctor.unmapped_rate".into(), a.unmapped_rate);
+            m.insert(
+                "doctor.fallthrough_confidence".into(),
+                a.fallthrough_confidence,
+            );
+            m.insert(
+                "doctor.sample_capture_ratio".into(),
+                a.sample_capture_ratio,
+            );
+            if let Some(skew) = a.skew {
+                m.insert("doctor.skew".into(), skew);
+            }
+        }
+
+        let mut wall = BTreeMap::new();
+        let t = &summary.times;
+        wall.insert("phase1.wall_secs".into(), t.phase1.wall_secs);
+        wall.insert("phase2.wall_secs".into(), t.phase2.wall_secs);
+        wall.insert("phase3.wall_secs".into(), t.phase3.wall_secs);
+        wall.insert("phase4.wall_secs".into(), t.phase4.wall_secs);
+        wall.insert("total.wall_secs".into(), t.total_wall_secs());
+
+        RunReport {
+            benchmark: benchmark.to_string(),
+            scale,
+            seed,
+            metrics: m,
+            wall,
+            layout: pipeline
+                .wpa_output()
+                .map(|w| w.provenance.clone())
+                .unwrap_or_default(),
+            telemetry,
+        }
+    }
+
+    /// Serializes the report as a [`JsonValue`].
+    pub fn to_json(&self) -> JsonValue {
+        let num_map = |m: &BTreeMap<String, f64>| {
+            JsonValue::Obj(
+                m.iter()
+                    .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                    .collect(),
+            )
+        };
+        let mut members = vec![
+            ("benchmark".to_string(), JsonValue::Str(self.benchmark.clone())),
+            ("scale".to_string(), JsonValue::Num(self.scale)),
+            ("seed".to_string(), JsonValue::Num(self.seed as f64)),
+            ("metrics".to_string(), num_map(&self.metrics)),
+            ("wall".to_string(), num_map(&self.wall)),
+            (
+                "layout".to_string(),
+                JsonValue::Arr(
+                    self.layout
+                        .functions
+                        .iter()
+                        .map(function_to_json)
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(tel) = &self.telemetry {
+            members.push(("telemetry".to_string(), tel.to_json()));
+        }
+        JsonValue::Obj(members)
+    }
+
+    /// The pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Reconstructs a report from [`RunReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or ill-typed member.
+    pub fn from_json(v: &JsonValue) -> Result<RunReport, String> {
+        let benchmark = v
+            .get("benchmark")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `benchmark`")?
+            .to_string();
+        let scale = v
+            .get("scale")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing `scale`")?;
+        let seed = v
+            .get("seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing `seed`")?;
+        let num_map = |key: &str| -> Result<BTreeMap<String, f64>, String> {
+            let mut out = BTreeMap::new();
+            for (k, val) in v
+                .get(key)
+                .and_then(JsonValue::as_obj)
+                .ok_or_else(|| format!("missing `{key}`"))?
+            {
+                out.insert(
+                    k.clone(),
+                    val.as_f64().ok_or_else(|| format!("`{key}.{k}` not a number"))?,
+                );
+            }
+            Ok(out)
+        };
+        let mut layout = LayoutProvenance::default();
+        for f in v
+            .get("layout")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing `layout`")?
+        {
+            layout.functions.push(function_from_json(f)?);
+        }
+        let telemetry = match v.get("telemetry") {
+            Some(t) => {
+                Some(MetricsSnapshot::from_json(t).ok_or("malformed `telemetry`")?)
+            }
+            None => None,
+        };
+        Ok(RunReport {
+            benchmark,
+            scale,
+            seed,
+            metrics: num_map("metrics")?,
+            wall: num_map("wall")?,
+            layout,
+            telemetry,
+        })
+    }
+
+    /// Parses a serialized report.
+    ///
+    /// # Errors
+    ///
+    /// Reports both JSON syntax errors and schema mismatches.
+    pub fn parse(text: &str) -> Result<RunReport, String> {
+        let v = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        RunReport::from_json(&v)
+    }
+}
+
+fn hit_rate(hits: u64, lookups: u64) -> f64 {
+    if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    }
+}
+
+fn function_to_json(f: &FunctionProvenance) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("func".to_string(), JsonValue::Str(f.func_symbol.clone())),
+        (
+            "total_samples".to_string(),
+            JsonValue::Num(f.total_samples as f64),
+        ),
+        ("hot_blocks".to_string(), JsonValue::Num(f.hot_blocks as f64)),
+        (
+            "cold_blocks".to_string(),
+            JsonValue::Num(f.cold_blocks as f64),
+        ),
+        (
+            "merge_gains".to_string(),
+            JsonValue::Arr(f.merge_gains.iter().map(|&g| JsonValue::Num(g)).collect()),
+        ),
+        ("layout_score".to_string(), JsonValue::Num(f.layout_score)),
+        ("input_score".to_string(), JsonValue::Num(f.input_score)),
+        (
+            "used_input_order".to_string(),
+            JsonValue::Bool(f.used_input_order),
+        ),
+        (
+            "clusters".to_string(),
+            JsonValue::Arr(f.clusters.iter().map(cluster_to_json).collect()),
+        ),
+    ])
+}
+
+fn cluster_to_json(c: &ClusterProvenance) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("symbol".to_string(), JsonValue::Str(c.symbol.clone())),
+        (
+            "blocks".to_string(),
+            JsonValue::Arr(c.blocks.iter().map(|&b| JsonValue::Num(b as f64)).collect()),
+        ),
+        ("weight".to_string(), JsonValue::Num(c.weight as f64)),
+        ("size".to_string(), JsonValue::Num(c.size as f64)),
+        ("cold".to_string(), JsonValue::Bool(c.cold)),
+        (
+            "order_pos".to_string(),
+            match c.symbol_order_pos {
+                Some(p) => JsonValue::Num(p as f64),
+                None => JsonValue::Null,
+            },
+        ),
+    ])
+}
+
+fn function_from_json(v: &JsonValue) -> Result<FunctionProvenance, String> {
+    let str_of = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("layout entry missing `{key}`"))
+    };
+    let num_of = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("layout entry missing `{key}`"))
+    };
+    let mut clusters = Vec::new();
+    for c in v
+        .get("clusters")
+        .and_then(JsonValue::as_arr)
+        .ok_or("layout entry missing `clusters`")?
+    {
+        clusters.push(cluster_from_json(c)?);
+    }
+    Ok(FunctionProvenance {
+        func_symbol: str_of("func")?,
+        total_samples: num_of("total_samples")? as u64,
+        hot_blocks: num_of("hot_blocks")? as usize,
+        cold_blocks: num_of("cold_blocks")? as usize,
+        merge_gains: v
+            .get("merge_gains")
+            .and_then(JsonValue::as_arr)
+            .ok_or("layout entry missing `merge_gains`")?
+            .iter()
+            .map(|g| g.as_f64().ok_or("bad merge gain"))
+            .collect::<Result<_, _>>()?,
+        layout_score: num_of("layout_score")?,
+        input_score: num_of("input_score")?,
+        used_input_order: matches!(v.get("used_input_order"), Some(JsonValue::Bool(true))),
+        clusters,
+    })
+}
+
+fn cluster_from_json(v: &JsonValue) -> Result<ClusterProvenance, String> {
+    Ok(ClusterProvenance {
+        symbol: v
+            .get("symbol")
+            .and_then(JsonValue::as_str)
+            .ok_or("cluster missing `symbol`")?
+            .to_string(),
+        blocks: v
+            .get("blocks")
+            .and_then(JsonValue::as_arr)
+            .ok_or("cluster missing `blocks`")?
+            .iter()
+            .map(|b| b.as_u64().map(|b| b as u32).ok_or("bad block id"))
+            .collect::<Result<_, _>>()?,
+        weight: v
+            .get("weight")
+            .and_then(JsonValue::as_u64)
+            .ok_or("cluster missing `weight`")?,
+        size: v
+            .get("size")
+            .and_then(JsonValue::as_u64)
+            .ok_or("cluster missing `size`")?,
+        cold: matches!(v.get("cold"), Some(JsonValue::Bool(true))),
+        symbol_order_pos: v.get("order_pos").and_then(JsonValue::as_u64).map(|p| p as usize),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_report() -> RunReport {
+        let mut r = RunReport {
+            benchmark: "clang".into(),
+            scale: 0.01,
+            seed: 7,
+            ..RunReport::default()
+        };
+        r.metrics.insert("eval.speedup_pct".into(), 6.25);
+        r.metrics.insert("doctor.sample_coverage".into(), 0.97);
+        r.wall.insert("total.wall_secs".into(), 123.5);
+        r.layout.functions.push(FunctionProvenance {
+            func_symbol: "hot_a".into(),
+            total_samples: 400,
+            hot_blocks: 3,
+            cold_blocks: 1,
+            merge_gains: vec![12.0, 3.5],
+            layout_score: 390.0,
+            input_score: 205.5,
+            used_input_order: false,
+            clusters: vec![
+                ClusterProvenance {
+                    symbol: "hot_a".into(),
+                    blocks: vec![0, 2, 1],
+                    weight: 400,
+                    size: 96,
+                    cold: false,
+                    symbol_order_pos: Some(0),
+                },
+                ClusterProvenance {
+                    symbol: "hot_a.cold".into(),
+                    blocks: vec![3],
+                    weight: 0,
+                    size: 16,
+                    cold: true,
+                    symbol_order_pos: None,
+                },
+            ],
+        });
+        r
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let r = sample_report();
+        let back = RunReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn round_trips_with_telemetry() {
+        let mut r = sample_report();
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("mapper.unmapped_addrs".into(), 9);
+        r.telemetry = Some(snap);
+        let back = RunReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.telemetry.unwrap().counter("mapper.unmapped_addrs"), 9);
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        assert!(RunReport::parse("{}").is_err());
+        assert!(RunReport::parse("not json").is_err());
+        let missing_metrics =
+            r#"{"benchmark": "x", "scale": 1, "seed": 0, "wall": {}, "layout": []}"#;
+        assert!(RunReport::parse(missing_metrics).is_err());
+        let bad_metric = r#"{"benchmark": "x", "scale": 1, "seed": 0,
+            "metrics": {"m": "not a number"}, "wall": {}, "layout": []}"#;
+        assert!(RunReport::parse(bad_metric).is_err());
+    }
+}

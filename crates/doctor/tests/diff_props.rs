@@ -1,0 +1,119 @@
+//! Property tests for the run-diff regression gate: a report diffed
+//! against itself is always empty at zero tolerance (the CI gate must
+//! never fail a no-change build), serialization does not perturb that,
+//! and gating honors metric direction.
+
+use propeller_doctor::{diff_reports, RunReport};
+use propeller_wpa::{ClusterProvenance, FunctionProvenance};
+use proptest::prelude::*;
+
+/// A pool mixing direction-mapped keys with unknown (informational)
+/// ones, so self-diff is exercised across every gating path.
+const KEYS: [&str; 8] = [
+    "eval.speedup_pct",
+    "eval.opt_cycles",
+    "doctor.sample_coverage",
+    "doctor.unmapped_rate",
+    "cache.ir_hit_rate",
+    "wpa.hot_functions",
+    "custom.metric_a",
+    "custom.metric_b",
+];
+
+/// Builds a report from drawn raw material. Metric values span
+/// negatives, zero, and large magnitudes; unit-interval draws from the
+/// vendored `any::<f64>()` are rescaled to cover them.
+fn report_of(
+    metrics: &[(u8, f64)],
+    wall: &[(u8, f64)],
+    funcs: &[(u8, u8, bool)],
+) -> RunReport {
+    let mut r = RunReport {
+        benchmark: "prop".into(),
+        scale: 0.5,
+        seed: 7,
+        ..RunReport::default()
+    };
+    for (k, v) in metrics {
+        let key = KEYS[*k as usize % KEYS.len()];
+        r.metrics.insert(key.to_string(), (v - 0.5) * 2e6);
+    }
+    for (k, v) in wall {
+        r.wall
+            .insert(format!("phase{}.wall_secs", k % 5), v * 1e3);
+    }
+    for (i, (blocks, order, cold)) in funcs.iter().enumerate() {
+        let symbol = format!("fn{i}");
+        let n = (*blocks % 6) as u32 + 1;
+        r.layout.functions.push(FunctionProvenance {
+            func_symbol: symbol.clone(),
+            total_samples: n as u64 * 10,
+            hot_blocks: n as usize,
+            cold_blocks: (*blocks % 3) as usize,
+            merge_gains: (0..n).map(|g| g as f64 * 1.5).collect(),
+            layout_score: n as f64 * 7.0,
+            input_score: n as f64 * 5.0,
+            used_input_order: *cold,
+            clusters: vec![ClusterProvenance {
+                symbol,
+                blocks: (0..n).collect(),
+                weight: n as u64 * 10,
+                size: n as u64 * 16,
+                cold: *cold,
+                symbol_order_pos: if *cold { None } else { Some(*order as usize) },
+            }],
+        });
+    }
+    r
+}
+
+proptest! {
+    #[test]
+    fn self_diff_is_empty_at_zero_tolerance(
+        metrics in proptest::collection::vec((any::<u8>(), any::<f64>()), 0..12),
+        wall in proptest::collection::vec((any::<u8>(), any::<f64>()), 0..6),
+        funcs in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..8),
+    ) {
+        let r = report_of(&metrics, &wall, &funcs);
+        let d = diff_reports(&r, &r, 0.0);
+        prop_assert!(d.is_empty(), "self-diff produced {:?}", d.deltas);
+        prop_assert!(!d.has_regression());
+        prop_assert!(d.render().contains("identical"));
+    }
+
+    #[test]
+    fn json_roundtrip_does_not_perturb_self_diff(
+        metrics in proptest::collection::vec((any::<u8>(), any::<f64>()), 0..12),
+        funcs in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..6),
+    ) {
+        let r = report_of(&metrics, &[], &funcs);
+        let back = RunReport::parse(&r.to_json_string()).unwrap();
+        prop_assert_eq!(&back, &r);
+        prop_assert!(diff_reports(&r, &back, 0.0).is_empty());
+    }
+
+    #[test]
+    fn gating_honors_metric_direction(
+        base in any::<f64>(),
+        bump in any::<f64>(),
+    ) {
+        // eval.opt_cycles is lower-better: raising it past the
+        // tolerance must regress; lowering it never may.
+        let cycles = base * 1e6 + 1000.0;
+        let growth = 1.0 + bump; // 1x..2x
+        let mut a = RunReport::default();
+        a.metrics.insert("eval.opt_cycles".into(), cycles);
+        let mut worse = a.clone();
+        worse.metrics.insert("eval.opt_cycles".into(), cycles * (1.0 + growth));
+        let mut better = a.clone();
+        better.metrics.insert("eval.opt_cycles".into(), cycles / (1.0 + growth));
+        prop_assert!(diff_reports(&a, &worse, 50.0).has_regression());
+        prop_assert!(!diff_reports(&a, &better, 0.0).has_regression());
+        // The same move on an unknown key stays informational.
+        let mut ia = RunReport::default();
+        ia.metrics.insert("custom.metric_a".into(), cycles);
+        let mut ib = ia.clone();
+        ib.metrics.insert("custom.metric_a".into(), cycles * (1.0 + growth));
+        prop_assert!(!diff_reports(&ia, &ib, 0.0).has_regression());
+    }
+}

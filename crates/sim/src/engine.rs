@@ -216,6 +216,33 @@ pub fn simulate_traced(
     report
 }
 
+/// Runs `workload` over `image` with LBR sampling on and returns the
+/// collected profile plus the run's counters — `perf record` and
+/// `perf stat` over the same execution. This is the re-profiling
+/// primitive quality audits use, e.g. re-simulating the workload
+/// against an optimized layout to measure profile staleness.
+///
+/// # Panics
+///
+/// Same as [`simulate`].
+pub fn collect_profile(
+    image: &ProgramImage,
+    workload: &Workload,
+    uarch: &UarchConfig,
+    sampling: SamplingConfig,
+) -> (HardwareProfile, CounterSet) {
+    let report = simulate(
+        image,
+        workload,
+        uarch,
+        &SimOptions {
+            sampling: Some(sampling),
+            ..SimOptions::default()
+        },
+    );
+    (report.profile.expect("sampling enabled"), report.counters)
+}
+
 /// Runs the workload over the image and reports counters, an optional
 /// LBR profile, and an optional heat map.
 ///

@@ -28,7 +28,7 @@ mod rng;
 pub use cache::SetAssocCache;
 pub use config::{CacheConfig, Penalties, TlbConfig, UarchConfig, Workload};
 pub use counters::{CounterSet, SimReport};
-pub use engine::{simulate, simulate_traced, SimOptions};
+pub use engine::{collect_profile, simulate, simulate_traced, SimOptions};
 pub use heatmap::HeatMap;
 pub use image::{ImageError, ProgramImage, SimBlock, SimTerm};
 pub use rng::SplitMix64;

@@ -11,39 +11,8 @@
 //! escapes strings per RFC 8259, so the output is always
 //! syntactically valid.
 
+use crate::json::{escape_json, json_f64};
 use crate::{SpanRecord, TraceData};
-use std::fmt::Write as _;
-
-/// Escapes `s` as the contents of a JSON string literal.
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity; those
-/// become 0 and a very large finite value respectively).
-fn json_f64(v: f64) -> String {
-    if v.is_nan() {
-        "0".to_string()
-    } else if v.is_infinite() {
-        if v > 0.0 { "1e308" } else { "-1e308" }.to_string()
-    } else {
-        format!("{v}")
-    }
-}
 
 fn span_event(s: &SpanRecord) -> String {
     format!(
@@ -238,11 +207,4 @@ mod tests {
         check_json(&json).expect("valid JSON");
     }
 
-    #[test]
-    fn escapes_and_nonfinite_numbers() {
-        assert_eq!(escape_json("a\"b\\c\u{1}"), "a\\\"b\\\\c\\u0001");
-        assert_eq!(json_f64(f64::NAN), "0");
-        assert_eq!(json_f64(f64::INFINITY), "1e308");
-        assert_eq!(json_f64(2.5), "2.5");
-    }
 }

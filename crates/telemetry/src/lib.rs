@@ -42,8 +42,10 @@ mod metrics;
 mod span;
 
 pub mod chrome;
+pub mod json;
 pub mod report;
 
+pub use json::{JsonError, JsonValue};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS};
 pub use span::{Span, SpanId, SpanRecord};
 

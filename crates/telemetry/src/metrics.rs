@@ -6,6 +6,7 @@
 //! in any order and grouping without changing the result (property
 //! tested in `tests/metrics_props.rs`).
 
+use crate::json::JsonValue;
 use std::collections::BTreeMap;
 
 /// Number of histogram buckets. Bucket `i < HISTOGRAM_BUCKETS - 1`
@@ -197,6 +198,87 @@ impl MetricsSnapshot {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
+
+    /// Serializes the snapshot as a [`JsonValue`] object with
+    /// `counters`, `gauges` and `histograms` members, so one artifact
+    /// (e.g. the doctor's `RunReport`) can embed the full registry.
+    pub fn to_json(&self) -> JsonValue {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .map(|&n| JsonValue::Num(n as f64))
+                    .collect();
+                let mut members = vec![
+                    ("count".to_string(), JsonValue::Num(h.count as f64)),
+                    ("sum".to_string(), JsonValue::Num(h.sum)),
+                    ("buckets".to_string(), JsonValue::Arr(buckets)),
+                ];
+                if h.count > 0 {
+                    members.push(("min".to_string(), JsonValue::Num(h.min)));
+                    members.push(("max".to_string(), JsonValue::Num(h.max)));
+                }
+                (k.clone(), JsonValue::Obj(members))
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("counters".to_string(), JsonValue::Obj(counters)),
+            ("gauges".to_string(), JsonValue::Obj(gauges)),
+            ("histograms".to_string(), JsonValue::Obj(histograms)),
+        ])
+    }
+
+    /// Reconstructs a snapshot from [`MetricsSnapshot::to_json`]
+    /// output. Unknown members are ignored; a malformed histogram (bad
+    /// bucket count, missing fields) yields `None`.
+    pub fn from_json(v: &JsonValue) -> Option<MetricsSnapshot> {
+        let mut snap = MetricsSnapshot::default();
+        if let Some(members) = v.get("counters").and_then(JsonValue::as_obj) {
+            for (k, val) in members {
+                snap.counters.insert(k.clone(), val.as_u64()?);
+            }
+        }
+        if let Some(members) = v.get("gauges").and_then(JsonValue::as_obj) {
+            for (k, val) in members {
+                snap.gauges.insert(k.clone(), val.as_f64()?);
+            }
+        }
+        if let Some(members) = v.get("histograms").and_then(JsonValue::as_obj) {
+            for (k, val) in members {
+                let mut h = Histogram {
+                    count: val.get("count")?.as_u64()?,
+                    sum: val.get("sum")?.as_f64()?,
+                    ..Histogram::default()
+                };
+                let buckets = val.get("buckets")?.as_arr()?;
+                if buckets.len() != HISTOGRAM_BUCKETS {
+                    return None;
+                }
+                for (slot, b) in h.buckets.iter_mut().zip(buckets) {
+                    *slot = b.as_u64()?;
+                }
+                if h.count > 0 {
+                    h.min = val.get("min")?.as_f64()?;
+                    h.max = val.get("max")?.as_f64()?;
+                }
+                snap.histograms.insert(k.clone(), h);
+            }
+        }
+        Some(snap)
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +315,37 @@ mod tests {
                 assert!(v > Histogram::bucket_bound(b - 1), "{v} in bucket {b}");
             }
         }
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut reg = MetricsRegistry::default();
+        reg.counter_add("mapper.unmapped_addrs", 17);
+        reg.counter_add("wpa.hot_functions", 4);
+        reg.gauge_set("wpa.peak_gb", 1.25);
+        reg.observe("exttsp.merge_gain", 3.0);
+        reg.observe("exttsp.merge_gain", 700.5);
+        let snap = reg.snapshot();
+        let text = snap.to_json().to_string_pretty();
+        let back = MetricsSnapshot::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.histograms["exttsp.merge_gain"].is_consistent());
+    }
+
+    #[test]
+    fn snapshot_json_rejects_malformed_histograms() {
+        let v = JsonValue::parse(
+            r#"{"histograms": {"h": {"count": 1, "sum": 2.0, "buckets": [0, 1]}}}"#,
+        )
+        .unwrap();
+        assert_eq!(MetricsSnapshot::from_json(&v), None);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        let v = snap.to_json();
+        assert_eq!(MetricsSnapshot::from_json(&v), Some(snap));
     }
 
     #[test]

@@ -71,6 +71,15 @@ pub struct Dcfg {
     pub calls: HashMap<(u32, u32, u32), u64>,
     /// Inter-function return weights `(returnee, returner)`.
     pub returns: HashMap<(u32, u32), u64>,
+    /// Address resolutions attempted while building, weighted by sample
+    /// weight (each aggregated branch endpoint / fall-through landing
+    /// counts once per observed sample).
+    pub addr_lookups: u64,
+    /// Of [`Dcfg::addr_lookups`], how many missed every mapped block
+    /// (kernel addresses, stripped functions, dropped cold maps).
+    /// Samples behind these are silently absent from the graph — the
+    /// doctor's unmapped-address rate is `addr_unmapped/addr_lookups`.
+    pub addr_unmapped: u64,
 }
 
 impl Dcfg {
@@ -84,9 +93,11 @@ impl Dcfg {
             ..Dcfg::default()
         };
         for (&(from, to), &w) in &profile.branches {
-            let (Some((sf, sb)), Some((df, db))) =
-                (mapper.lookup_idx(from), mapper.lookup_idx(to))
-            else {
+            let src = mapper.lookup_idx(from);
+            let dst = mapper.lookup_idx(to);
+            dcfg.addr_lookups += 2 * w;
+            dcfg.addr_unmapped += w * (src.is_none() as u64 + dst.is_none() as u64);
+            let (Some((sf, sb)), Some((df, db))) = (src, dst) else {
                 continue;
             };
             if sf == df {
@@ -109,9 +120,12 @@ impl Dcfg {
             // same-function blocks.
             let mut prev: Option<(u32, u32)> = None;
             // The block containing `lo` (a return may land mid-block).
+            dcfg.addr_lookups += w;
             if let Some((f, b)) = mapper.lookup_idx(lo) {
                 *dcfg.functions[f as usize].block_counts.entry(b).or_insert(0) += w;
                 prev = Some((f, b));
+            } else {
+                dcfg.addr_unmapped += w;
             }
             for (f, b) in mapper.blocks_starting_in(lo, hi) {
                 if prev == Some((f, b)) {
@@ -305,5 +319,25 @@ mod tests {
         assert_eq!(dcfg.num_edges(), 0);
         assert_eq!(dcfg.num_hot_blocks(), 0);
         assert_eq!(dcfg.modeled_memory_bytes(), 0);
+        // Both endpoints of the bogus branch missed the mapper.
+        assert_eq!(dcfg.addr_lookups, 2);
+        assert_eq!(dcfg.addr_unmapped, 2);
+    }
+
+    #[test]
+    fn mapped_samples_count_lookups_without_misses() {
+        let bin = binary();
+        let mapper = AddressMapper::from_binary(&bin);
+        let alpha = bin.symbol("alpha").unwrap();
+        let beta = bin.symbol("beta").unwrap();
+        let mut prof = HardwareProfile::new("t");
+        prof.samples.push(LbrSample::new(vec![LbrRecord {
+            from: alpha + 1,
+            to: beta,
+        }]));
+        let agg = AggregatedProfile::from_profile(&prof);
+        let dcfg = Dcfg::build(&mapper, &agg);
+        assert!(dcfg.addr_lookups >= 2);
+        assert_eq!(dcfg.addr_unmapped, 0);
     }
 }

@@ -269,6 +269,31 @@ impl<'a> Optimizer<'a> {
     }
 }
 
+/// One committed chain merge, in commit order — the provenance trail
+/// explaining how a final layout was assembled.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct MergeRecord {
+    /// Ext-TSP score gained by this merge.
+    pub gain: f64,
+    /// Whether the merge split the receiving chain (X1 Y X2) rather
+    /// than concatenating.
+    pub split: bool,
+}
+
+/// What one [`order_nodes_logged`] run did, for provenance reporting.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MergeLog {
+    /// Every committed merge, in order.
+    pub merges: Vec<MergeRecord>,
+    /// Ext-TSP score of the returned layout.
+    pub final_score: f64,
+    /// Ext-TSP score of the input (compiler) order.
+    pub input_score: f64,
+    /// Whether the optimizer's layout scored below the input order and
+    /// the input order was returned instead.
+    pub used_input_order: bool,
+}
+
 /// Orders `nodes` to maximize the Ext-TSP score, keeping `entry` first.
 ///
 /// Nodes never observed in an edge stay in their own chains and are
@@ -300,6 +325,23 @@ pub fn order_nodes_traced(
     entry: u32,
     params: &ExtTspParams,
     tel: &propeller_telemetry::Telemetry,
+) -> Vec<u32> {
+    order_nodes_logged(nodes, edges, entry, params, tel, None)
+}
+
+/// [`order_nodes_traced`], additionally filling `log` (when given) with
+/// the committed merges and the final-vs-input layout scores.
+///
+/// # Panics
+///
+/// Same as [`order_nodes`].
+pub fn order_nodes_logged(
+    nodes: &[Node],
+    edges: &[Edge],
+    entry: u32,
+    params: &ExtTspParams,
+    tel: &propeller_telemetry::Telemetry,
+    mut log: Option<&mut MergeLog>,
 ) -> Vec<u32> {
     assert!(!nodes.is_empty(), "need at least one node");
     let mut dense: HashMap<u32, usize> = HashMap::with_capacity(nodes.len());
@@ -388,6 +430,12 @@ pub fn order_nodes_traced(
         if tel.is_enabled() {
             tel.observe("exttsp.merge_gain", entry.gain);
         }
+        if let Some(log) = log.as_deref_mut() {
+            log.merges.push(MergeRecord {
+                gain: entry.gain,
+                split: entry.split != usize::MAX,
+            });
+        }
         let mut affected: Vec<usize> = opt.neighbors[x].iter().copied().collect();
         affected.sort_unstable();
         for n in affected {
@@ -434,10 +482,15 @@ pub fn order_nodes_traced(
     // below the incoming (original) order on loop-dense graphs. Never
     // return a layout worse than the one the compiler already had.
     let input_order: Vec<u32> = nodes.iter().map(|n| n.id).collect();
-    if input_order.first() == Some(&entry)
-        && score_layout(&order, nodes, edges, params) + 1e-9
-            < score_layout(&input_order, nodes, edges, params)
-    {
+    let merged_score = score_layout(&order, nodes, edges, params);
+    let input_score = score_layout(&input_order, nodes, edges, params);
+    let fall_back = input_order.first() == Some(&entry) && merged_score + 1e-9 < input_score;
+    if let Some(log) = log {
+        log.input_score = input_score;
+        log.final_score = if fall_back { input_score } else { merged_score };
+        log.used_input_order = fall_back;
+    }
+    if fall_back {
         return input_order;
     }
     order
@@ -553,6 +606,32 @@ mod tests {
         let mut sorted = a.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..30).collect::<Vec<_>>(), "permutation");
+    }
+
+    #[test]
+    fn merge_log_records_commits_and_scores() {
+        let ns = nodes(&[(0, 20, 100), (1, 20, 5), (2, 20, 95), (3, 20, 100)]);
+        let es = vec![
+            edge(0, 1, 5),
+            edge(0, 2, 95),
+            edge(1, 3, 5),
+            edge(2, 3, 95),
+        ];
+        let p = ExtTspParams::default();
+        let mut log = MergeLog::default();
+        let order = order_nodes_logged(
+            &ns,
+            &es,
+            0,
+            &p,
+            &propeller_telemetry::Telemetry::disabled(),
+            Some(&mut log),
+        );
+        assert!(!log.merges.is_empty());
+        assert!(log.merges.iter().all(|m| m.gain > 0.0));
+        assert!((log.final_score - score_layout(&order, &ns, &es, &p)).abs() < 1e-9);
+        assert!(log.final_score >= log.input_score - 1e-9);
+        assert!(!log.used_input_order);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The WPA driver: from profile to `cc_prof` + `ld_prof`.
 
 use crate::dcfg::{Dcfg, DcfgFunction};
-use crate::exttsp::{order_nodes_traced, Edge, Node};
+use crate::exttsp::{order_nodes_logged, order_nodes_traced, Edge, MergeLog, Node};
 use crate::mapper::AddressMapper;
 use crate::options::{GlobalOrder, IntraOrder, WpaOptions};
 use propeller_codegen::{Cluster, ClusterMap, ClusterName, FunctionClusters};
@@ -28,6 +28,62 @@ pub struct WpaStats {
     /// §5.1: "the peak memory usage is attributed to the maximum of
     /// reading profiles and the in-memory DCFG".
     pub modeled_peak_memory: u64,
+    /// Address-map functions the mapper dropped because none of their
+    /// range symbols resolved.
+    pub skipped_funcs: usize,
+    /// Sample-weighted address resolutions attempted while building the
+    /// DCFG.
+    pub addr_lookups: u64,
+    /// Of [`WpaStats::addr_lookups`], how many found no mapped block.
+    pub addr_unmapped: u64,
+}
+
+/// One planned cluster's provenance record.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClusterProvenance {
+    /// The cluster's section symbol (e.g. `foo`, `foo.1`, `foo.cold`).
+    pub symbol: String,
+    /// Block ids in layout order.
+    pub blocks: Vec<u32>,
+    /// Total dynamic weight of the cluster's blocks.
+    pub weight: u64,
+    /// Total size in bytes.
+    pub size: u64,
+    /// Whether this is the function's cold cluster.
+    pub cold: bool,
+    /// Final position in the global symbol order, if listed.
+    pub symbol_order_pos: Option<usize>,
+}
+
+/// Why one hot function's layout came out the way it did.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FunctionProvenance {
+    /// The function's primary symbol.
+    pub func_symbol: String,
+    /// Total dynamic weight observed for the function.
+    pub total_samples: u64,
+    /// Blocks classified hot / cold.
+    pub hot_blocks: usize,
+    /// Blocks classified cold.
+    pub cold_blocks: usize,
+    /// Ext-TSP chain merges committed while ordering the hot blocks
+    /// (empty when the intra order was not Ext-TSP).
+    pub merge_gains: Vec<f64>,
+    /// Ext-TSP score of the emitted hot-block order.
+    pub layout_score: f64,
+    /// Ext-TSP score of the compiler's input order.
+    pub input_score: f64,
+    /// Whether the optimizer fell back to the input order.
+    pub used_input_order: bool,
+    /// The clusters emitted for this function.
+    pub clusters: Vec<ClusterProvenance>,
+}
+
+/// Machine-readable record of every layout decision of one WPA run.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct LayoutProvenance {
+    /// One record per hot function, in address-map order.
+    pub functions: Vec<FunctionProvenance>,
 }
 
 /// The two Phase 3 outputs plus statistics.
@@ -39,6 +95,9 @@ pub struct WpaOutput {
     pub symbol_order: SymbolOrdering,
     /// Run statistics.
     pub stats: WpaStats,
+    /// Per-hot-function layout decisions (clusters, merge gains,
+    /// symbol-order positions) for the doctor's `RunReport`.
+    pub provenance: LayoutProvenance,
 }
 
 /// One planned cluster, before serialization into the outputs.
@@ -110,8 +169,12 @@ pub fn run_wpa_traced(
         functions_seen: binary.bb_addr_map.functions.len(),
         dcfg_edges: dcfg.num_edges(),
         profile_bytes: profile.raw_size_bytes(),
+        skipped_funcs: mapper.num_skipped_functions(),
+        addr_lookups: dcfg.addr_lookups,
+        addr_unmapped: dcfg.addr_unmapped,
         ..WpaStats::default()
     };
+    let mut provenance = LayoutProvenance::default();
 
     let intra_span = tel.span_under("wpa.intra_layout", wpa_id);
     for fmap in &binary.bb_addr_map.functions {
@@ -175,8 +238,12 @@ pub fn run_wpa_traced(
             .collect();
 
         // Intra-function order.
+        let mut merge_log = MergeLog::default();
         let hot_order: Vec<u32> = match opts.intra {
-            IntraOrder::Original => hot.clone(),
+            IntraOrder::Original => {
+                merge_log.used_input_order = true;
+                hot.clone()
+            }
             IntraOrder::ExtTsp => {
                 let nodes: Vec<Node> = hot
                     .iter()
@@ -197,7 +264,7 @@ pub fn run_wpa_traced(
                     })
                     .collect();
                 edges.sort_unstable_by_key(|e| (e.src, e.dst, e.weight));
-                order_nodes_traced(&nodes, &edges, 0, &opts.exttsp, tel)
+                order_nodes_logged(&nodes, &edges, 0, &opts.exttsp, tel, Some(&mut merge_log))
             }
         };
 
@@ -240,6 +307,17 @@ pub fn run_wpa_traced(
         }
 
         // Plan global ordering entries.
+        let mut fn_prov = FunctionProvenance {
+            func_symbol: fmap.func_symbol.clone(),
+            total_samples: dc.total_count(),
+            hot_blocks: hot.len(),
+            cold_blocks: cold.len(),
+            merge_gains: merge_log.merges.iter().map(|m| m.gain).collect(),
+            layout_score: merge_log.final_score,
+            input_score: merge_log.input_score,
+            used_input_order: merge_log.used_input_order,
+            clusters: Vec::with_capacity(clusters.len()),
+        };
         for c in &clusters {
             let symbol = c.name.symbol(&fmap.func_symbol);
             let weight: u64 = c.blocks.iter().map(|b| count(b.0)).sum();
@@ -249,6 +327,14 @@ pub fn run_wpa_traced(
                 .map(|b| size_of.get(&b.0).copied().unwrap_or(0) as u64)
                 .sum();
             let is_cold = matches!(c.name, ClusterName::Cold);
+            fn_prov.clusters.push(ClusterProvenance {
+                symbol: symbol.clone(),
+                blocks: c.blocks.iter().map(|b| b.0).collect(),
+                weight,
+                size: size.max(1),
+                cold: is_cold,
+                symbol_order_pos: None,
+            });
             let plan = PlannedCluster {
                 symbol,
                 weight,
@@ -265,6 +351,7 @@ pub fn run_wpa_traced(
                 planned.push(plan);
             }
         }
+        provenance.functions.push(fn_prov);
 
         cluster_map.insert(fid, FunctionClusters { clusters });
     }
@@ -355,12 +442,23 @@ pub fn run_wpa_traced(
     }
     drop(global_span);
 
+    // Now that the global order is final, resolve each cluster's
+    // position in it.
+    for f in &mut provenance.functions {
+        for c in &mut f.clusters {
+            c.symbol_order_pos = symbol_order.rank(&c.symbol);
+        }
+    }
+
     let analysis_mem = mapper.modeled_memory_bytes() + dcfg.modeled_memory_bytes();
     stats.modeled_peak_memory = stats.profile_bytes.max(analysis_mem);
     if tel.is_enabled() {
         tel.counter_add("wpa.hot_functions", stats.hot_functions as u64);
         tel.counter_add("wpa.hot_blocks", stats.hot_blocks as u64);
         tel.counter_add("wpa.dcfg_edges", stats.dcfg_edges as u64);
+        tel.counter_add("mapper.skipped_funcs", stats.skipped_funcs as u64);
+        tel.counter_add("mapper.addr_lookups", stats.addr_lookups);
+        tel.counter_add("mapper.unmapped_addrs", stats.addr_unmapped);
         wpa_span.set_peak_bytes(stats.modeled_peak_memory);
     }
 
@@ -368,6 +466,7 @@ pub fn run_wpa_traced(
         cluster_map,
         symbol_order,
         stats,
+        provenance,
     }
 }
 

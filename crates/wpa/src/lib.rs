@@ -29,7 +29,10 @@ mod prefetch;
 
 pub use cc_prof::{cluster_map_from_text, cluster_map_to_text, CcProfError};
 pub use dcfg::{Dcfg, DcfgEdge, DcfgFunction, EdgeKind};
-pub use layout::{run_wpa, run_wpa_traced, WpaOutput, WpaStats};
+pub use layout::{
+    run_wpa, run_wpa_traced, ClusterProvenance, FunctionProvenance, LayoutProvenance, WpaOutput,
+    WpaStats,
+};
 pub use mapper::{AddressMapper, MappedLoc};
 pub use prefetch::{apply_prefetches, prefetch_directives, PrefetchMap};
 pub use options::{ColdSource, GlobalOrder, IntraOrder, WpaOptions};

@@ -28,6 +28,7 @@ struct Interval {
 pub struct AddressMapper {
     intervals: Vec<Interval>,
     func_symbols: Vec<String>,
+    skipped_funcs: usize,
 }
 
 impl AddressMapper {
@@ -35,10 +36,14 @@ impl AddressMapper {
     ///
     /// Functions whose range symbols cannot be resolved are skipped
     /// (they contribute no mappable blocks), mirroring how the real
-    /// tool tolerates stripped inputs.
+    /// tool tolerates stripped inputs. The count of skipped functions
+    /// is retained ([`AddressMapper::num_skipped_functions`]) so
+    /// profile-quality audits can surface the loss instead of it
+    /// vanishing silently.
     pub fn from_binary(binary: &LinkedBinary) -> Self {
         let mut intervals = Vec::new();
         let mut func_symbols = Vec::new();
+        let mut skipped_funcs = 0usize;
         for f in &binary.bb_addr_map.functions {
             let func_idx = func_symbols.len() as u32;
             let mut any = false;
@@ -58,12 +63,15 @@ impl AddressMapper {
             }
             if any {
                 func_symbols.push(f.func_symbol.clone());
+            } else {
+                skipped_funcs += 1;
             }
         }
         intervals.sort_by_key(|i| i.start);
         AddressMapper {
             intervals,
             func_symbols,
+            skipped_funcs,
         }
     }
 
@@ -117,6 +125,13 @@ impl AddressMapper {
     /// Number of functions with mappable blocks.
     pub fn num_functions(&self) -> usize {
         self.func_symbols.len()
+    }
+
+    /// Number of address-map functions dropped because none of their
+    /// range symbols resolved (stripped or garbage-collected symbols).
+    /// Samples landing in these functions can never map.
+    pub fn num_skipped_functions(&self) -> usize {
+        self.skipped_funcs
     }
 
     /// Number of block intervals.
@@ -174,6 +189,27 @@ mod tests {
         // bb1 starts at 9.
         let loc = mapper.lookup(alpha + 9).unwrap();
         assert_eq!(loc.bb_id, 1);
+    }
+
+    #[test]
+    fn unresolvable_range_symbols_are_counted_as_skipped() {
+        let mut bin = metadata_binary();
+        bin.bb_addr_map.functions.push(propeller_obj::FuncAddrMap {
+            func_symbol: "ghost".to_string(),
+            ranges: vec![(
+                "ghost.stripped".to_string(),
+                vec![propeller_obj::BbEntry {
+                    bb_id: 0,
+                    offset: 0,
+                    size: 16,
+                    flags: propeller_obj::BbFlags::default(),
+                }],
+            )],
+        });
+        let mapper = AddressMapper::from_binary(&bin);
+        assert_eq!(mapper.num_functions(), 2, "resolvable functions kept");
+        assert_eq!(mapper.num_skipped_functions(), 1);
+        assert!(mapper.func_index("ghost").is_none());
     }
 
     #[test]
