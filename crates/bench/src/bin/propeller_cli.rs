@@ -5,7 +5,7 @@
 //!     List the available benchmark specs (Table 2).
 //!
 //! propeller_cli run <benchmark> [--scale S] [--seed N] [--out DIR]
-//!                   [--trace-out FILE]
+//!                   [--trace-out FILE] [--faults SPEC]
 //!     Generate the benchmark, run the 4-phase pipeline, evaluate
 //!     against the baseline, and (with --out) write cc_prof.txt and
 //!     ld_prof.txt — the two artifacts of Figure 1 — plus
@@ -14,13 +14,32 @@
 //!     --trace-out, record telemetry for the whole run, write a Chrome
 //!     Trace Event Format JSON (load it at chrome://tracing or
 //!     ui.perfetto.dev) and print the span tree and metrics to stdout.
+//!     With --faults, inject the scheduled faults (grammar:
+//!     comma-separated `kind=probability[:limit]`, e.g.
+//!     `transient=0.5,corrupt-cache=1:2`) seeded by --seed, and print
+//!     the degradation ledger the run accumulated surviving them.
 //!
 //! propeller_cli doctor <benchmark> [--scale S] [--seed N]
+//!                      [--faults SPEC]
 //!     Run the pipeline and audit the profile it consumed: hot-text
 //!     sample coverage, unmapped-address rate, fall-through inference
 //!     confidence, sample-capture ratio, and the stale-profile skew
-//!     score from re-simulating the optimized binary. Exits nonzero
-//!     when any dimension FAILs its threshold.
+//!     score from re-simulating the optimized binary. The report ends
+//!     with the degradation section (what the run gave up surviving
+//!     injected faults — WARN at most, never FAIL, because degraded
+//!     runs still ship correct binaries). Exits nonzero when any
+//!     dimension FAILs its threshold.
+//!
+//! propeller_cli chaos [<benchmark>] [--scale S] [--seed N] [--out DIR]
+//!     Run the built-in fault matrix (zero faults, transient storm,
+//!     timeout storm, cache chaos, partial and total profile loss,
+//!     permanent codegen failure, kitchen sink) against the benchmark
+//!     (default clang at scale 0.004). Each scenario must complete all
+//!     four phases, ship a binary that retires the same blocks as the
+//!     baseline, and account for every injected fault exactly in its
+//!     degradation ledger. With --out, write chaos_report.json (the
+//!     per-scenario ledgers). Exits nonzero on any violation — the CI
+//!     chaos gate.
 //!
 //! propeller_cli compare <benchmark> [--scale S] [--seed N] [--json]
 //!                       [--out FILE]
@@ -42,19 +61,25 @@
 //!     Print the optimized binary's linker map.
 //! ```
 
-use propeller::{EvalReport, Propeller, PropellerOptions};
+use propeller::{
+    EvalReport, FaultKind, FaultPlan, Propeller, PropellerOptions,
+};
 use propeller_bench::{run_benchmark, RunConfig};
-use propeller_doctor::{audit_pipeline, diagnose, diff_reports, DoctorConfig, RunReport, Severity};
+use propeller_doctor::{
+    audit_pipeline, degradation_findings, diagnose, diff_reports, DoctorConfig, RunReport,
+    Severity,
+};
 use propeller_synth::{all_specs, generate, spec_by_name, GenParams};
-use propeller_telemetry::{chrome::to_chrome_trace, report::render_text, Telemetry};
+use propeller_telemetry::{chrome::to_chrome_trace, report::render_text, JsonValue, Telemetry};
 use propeller_wpa::cluster_map_to_text;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: propeller_cli <list | run <bench> | doctor <bench> | compare <bench> | \
-         diff <A.json> <B.json> | dump <bench> | map <bench>> \
-         [--scale S] [--seed N] [--out PATH] [--trace-out FILE] [--json] [--tolerance PCT]"
+        "usage: propeller_cli <list | run <bench> | doctor <bench> | chaos [bench] | \
+         compare <bench> | diff <A.json> <B.json> | dump <bench> | map <bench>> \
+         [--scale S] [--seed N] [--out PATH] [--trace-out FILE] [--json] \
+         [--tolerance PCT] [--faults SPEC]"
     );
     ExitCode::FAILURE
 }
@@ -79,6 +104,7 @@ struct Args {
     out: Option<String>,
     trace_out: Option<String>,
     json: bool,
+    faults: Option<String>,
 }
 
 fn parse_args(mut rest: std::env::Args) -> Option<Args> {
@@ -90,6 +116,7 @@ fn parse_args(mut rest: std::env::Args) -> Option<Args> {
         out: None,
         trace_out: None,
         json: false,
+        faults: None,
     };
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -98,10 +125,36 @@ fn parse_args(mut rest: std::env::Args) -> Option<Args> {
             "--out" => args.out = Some(rest.next()?),
             "--trace-out" => args.trace_out = Some(rest.next()?),
             "--json" => args.json = true,
+            "--faults" => args.faults = Some(rest.next()?),
             _ => return None,
         }
     }
     Some(args)
+}
+
+/// Pipeline options for a CLI invocation: the default options, plus
+/// the parsed `--faults` plan when one was given. Only a non-empty
+/// plan changes anything — fault-free invocations keep the exact
+/// default options so their output stays bit-identical to builds
+/// without the fault layer.
+fn options_for(args: &Args) -> Result<PropellerOptions, ExitCode> {
+    let mut opts = PropellerOptions::default();
+    if let Some(spec) = &args.faults {
+        match FaultPlan::parse(spec) {
+            Ok(plan) if plan.is_none() => {}
+            Ok(plan) => {
+                opts.faults = plan;
+                // The injection schedule derives from the pipeline
+                // seed, so --seed replays the exact same faults.
+                opts.seed = args.seed;
+            }
+            Err(e) => {
+                eprintln!("invalid --faults spec: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    Ok(opts)
 }
 
 fn write_file(path: &std::path::Path, contents: String) -> Result<(), ExitCode> {
@@ -111,6 +164,203 @@ fn write_file(path: &std::path::Path, contents: String) -> Result<(), ExitCode> 
     }
     println!("wrote {}", path.display());
     Ok(())
+}
+
+/// The built-in chaos matrix: every fault family alone and in
+/// combination, bracketed by the clean run (must stay ledger-clean)
+/// and total profile loss (must fall back to the identity layout).
+fn chaos_matrix() -> Vec<(&'static str, FaultPlan)> {
+    let parse = |s: &str| FaultPlan::parse(s).expect("static chaos plan literal parses");
+    vec![
+        ("zero-faults", FaultPlan::none()),
+        ("transient-storm", parse("transient=0.7")),
+        ("timeout-storm", parse("timeout=0.5")),
+        ("cache-chaos", parse("corrupt-cache=0.5,evict-cache=0.3")),
+        (
+            "partial-profile-loss",
+            parse("corrupt-lbr=0.4,truncate-samples=0.3"),
+        ),
+        ("full-profile-loss", FaultPlan::full_profile_loss()),
+        ("permanent-codegen", parse("permanent-codegen=1")),
+        (
+            "kitchen-sink",
+            parse(
+                "transient=0.4,timeout=0.2,corrupt-cache=0.4,evict-cache=0.2,\
+                 corrupt-lbr=0.3,truncate-samples=0.3,permanent-codegen=0.5",
+            ),
+        ),
+    ]
+}
+
+/// Runs one chaos scenario and appends every violated invariant to
+/// `violations`. Returns the scenario's JSON summary.
+fn run_chaos_scenario(
+    name: &str,
+    plan: &FaultPlan,
+    spec: &propeller_synth::BenchmarkSpec,
+    scale: f64,
+    seed: u64,
+    violations: &mut Vec<String>,
+) -> JsonValue {
+    let fail = |violations: &mut Vec<String>, what: String| {
+        violations.push(format!("[{name}] {what}"));
+    };
+    let gen = generate(
+        spec,
+        &GenParams {
+            scale,
+            seed,
+            funcs_per_module: 12,
+            entry_points: 4,
+        },
+    );
+    let opts = PropellerOptions {
+        faults: plan.clone(),
+        seed,
+        ..PropellerOptions::default()
+    };
+    let mut pipeline = Propeller::new(gen.program, gen.entries, opts);
+    let mut members = vec![
+        ("name".to_string(), JsonValue::Str(name.to_string())),
+        ("plan".to_string(), JsonValue::Str(plan.to_spec_string())),
+    ];
+    match pipeline.run_all() {
+        Ok(report) => {
+            let ledger = &report.degradation;
+            // Survival: the degraded binary must still retire exactly
+            // the baseline's block trace (correctness), with finite
+            // accounting.
+            match pipeline.evaluate(150_000) {
+                Ok(eval) => {
+                    if eval.optimized.blocks != eval.baseline.blocks {
+                        fail(
+                            violations,
+                            format!(
+                                "optimized binary retires {} blocks, baseline {} — not \
+                                 semantically equivalent",
+                                eval.optimized.blocks, eval.baseline.blocks
+                            ),
+                        );
+                    }
+                    members.push((
+                        "speedup_pct".to_string(),
+                        JsonValue::Num(eval.speedup_pct()),
+                    ));
+                }
+                Err(e) => fail(violations, format!("evaluation failed: {e}")),
+            }
+            if !ledger.retry_backoff_secs.is_finite() {
+                fail(violations, "retry backoff accumulated to a non-finite value".into());
+            }
+            // Exact accounting: every fault the injector fired must be
+            // visible in the ledger, one-for-one.
+            if let Some(inj) = pipeline.fault_injector() {
+                let books = [
+                    (FaultKind::TransientActionFailure, ledger.action_retries),
+                    (FaultKind::ActionTimeout, ledger.action_timeouts),
+                    (FaultKind::CacheCorruption, ledger.cache_corruptions),
+                    (FaultKind::CacheEviction, ledger.cache_evictions),
+                    (FaultKind::LbrRecordCorruption, ledger.lbr_records_corrupted),
+                    (FaultKind::SampleTruncation, ledger.lbr_samples_truncated),
+                    (FaultKind::PermanentCodegenFailure, ledger.objects_fallen_back),
+                ];
+                for (kind, booked) in books {
+                    let fired = inj.fired(kind);
+                    if fired != booked {
+                        fail(
+                            violations,
+                            format!(
+                                "injector fired {fired} {} fault(s) but the ledger \
+                                 accounts for {booked}",
+                                kind.key()
+                            ),
+                        );
+                    }
+                }
+                if ledger.cache_rebuilds != ledger.cache_corruptions + ledger.cache_evictions {
+                    fail(
+                        violations,
+                        format!(
+                            "{} cache rebuilds for {} corruptions + {} evictions",
+                            ledger.cache_rebuilds,
+                            ledger.cache_corruptions,
+                            ledger.cache_evictions
+                        ),
+                    );
+                }
+            } else if !plan.is_none() {
+                fail(violations, "non-empty plan but no injector was armed".into());
+            }
+            if plan.is_none() && !ledger.is_clean() {
+                fail(violations, format!("zero-fault run dirtied the ledger: {ledger}"));
+            }
+            print!("{}", ledger.render());
+            members.push((
+                "layout_mode".to_string(),
+                JsonValue::Str(ledger.layout_mode.as_str().to_string()),
+            ));
+            members.push((
+                "degradation".to_string(),
+                JsonValue::Obj(
+                    ledger
+                        .entries()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), JsonValue::Num(v)))
+                        .collect(),
+                ),
+            ));
+        }
+        Err(e) => fail(violations, format!("pipeline failed to complete: {e}")),
+    }
+    members.push((
+        "survived".to_string(),
+        JsonValue::Bool(!violations.iter().any(|v| v.starts_with(&format!("[{name}]")))),
+    ));
+    JsonValue::Obj(members)
+}
+
+/// The `chaos` subcommand: run every scenario, print each ledger,
+/// write the JSON artifact, and fail on any violated invariant.
+fn run_chaos_matrix(
+    spec: &propeller_synth::BenchmarkSpec,
+    scale: f64,
+    seed: u64,
+    out: Option<&str>,
+) -> Result<(), ExitCode> {
+    let mut violations = Vec::new();
+    let mut scenarios = Vec::new();
+    for (name, plan) in chaos_matrix() {
+        let plan_str = plan.to_spec_string();
+        println!(
+            "=== chaos scenario {name} (plan: {}) ===",
+            if plan_str.is_empty() { "<none>" } else { &plan_str }
+        );
+        scenarios.push(run_chaos_scenario(name, &plan, spec, scale, seed, &mut violations));
+    }
+    if let Some(dir) = out {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return Err(ExitCode::FAILURE);
+        }
+        let doc = JsonValue::Obj(vec![
+            ("benchmark".to_string(), JsonValue::Str(spec.name.to_string())),
+            ("scale".to_string(), JsonValue::Num(scale)),
+            ("seed".to_string(), JsonValue::Num(seed as f64)),
+            ("scenarios".to_string(), JsonValue::Arr(scenarios)),
+        ]);
+        write_file(&dir.join("chaos_report.json"), doc.to_string_pretty())?;
+    }
+    if violations.is_empty() {
+        println!("chaos gate: all {} scenarios survived", chaos_matrix().len());
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("chaos violation: {v}");
+        }
+        eprintln!("chaos gate: {} violation(s)", violations.len());
+        Err(ExitCode::FAILURE)
+    }
 }
 
 fn main() -> ExitCode {
@@ -154,8 +404,11 @@ fn main() -> ExitCode {
                 },
             );
             println!("{}: {}", spec.name, gen.program.stats());
-            let mut pipeline =
-                Propeller::new(gen.program, gen.entries, PropellerOptions::default());
+            let opts = match options_for(&args) {
+                Ok(o) => o,
+                Err(code) => return code,
+            };
+            let mut pipeline = Propeller::new(gen.program, gen.entries, opts);
             // `--out` embeds a metrics snapshot in the RunReport, so
             // telemetry must be live for either output flag.
             if args.trace_out.is_some() || args.out.is_some() {
@@ -182,6 +435,9 @@ fn main() -> ExitCode {
                 report.object_cache.hits,
                 report.object_cache.lookups
             );
+            if !report.degradation.is_clean() {
+                print!("{}", report.degradation.render());
+            }
             let eval = pipeline.evaluate(400_000).expect("phases ran");
             println!(
                 "speedup over PGO+ThinLTO baseline: {:+.2}% ({} -> {} cycles)",
@@ -257,8 +513,11 @@ fn main() -> ExitCode {
                     entry_points: 4,
                 },
             );
-            let mut pipeline =
-                Propeller::new(gen.program, gen.entries, PropellerOptions::default());
+            let opts = match options_for(&args) {
+                Ok(o) => o,
+                Err(code) => return code,
+            };
+            let mut pipeline = Propeller::new(gen.program, gen.entries, opts);
             if let Err(e) = pipeline.run_all() {
                 eprintln!("pipeline failed: {e}");
                 return ExitCode::FAILURE;
@@ -270,12 +529,53 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let findings = diagnose(&audit, &DoctorConfig::default());
+            let mut findings = diagnose(&audit, &DoctorConfig::default());
+            findings.extend(degradation_findings(pipeline.degradation()));
             print!("{}", propeller_doctor::render(&findings));
             if propeller_doctor::worst(&findings) == Severity::Fail {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
+            }
+        }
+        Some("chaos") => {
+            let mut benchmark = "clang".to_string();
+            let mut scale = 0.004f64;
+            let mut seed = 77u64;
+            let mut out: Option<String> = None;
+            let mut first = true;
+            while let Some(tok) = argv.next() {
+                match tok.as_str() {
+                    "--scale" => {
+                        let Some(s) = argv.next().and_then(|s| s.parse().ok()) else {
+                            return usage();
+                        };
+                        scale = s;
+                    }
+                    "--seed" => {
+                        let Some(s) = argv.next().and_then(|s| s.parse().ok()) else {
+                            return usage();
+                        };
+                        seed = s;
+                    }
+                    "--out" => {
+                        let Some(dir) = argv.next() else {
+                            return usage();
+                        };
+                        out = Some(dir);
+                    }
+                    t if first && !t.starts_with("--") => benchmark = t.to_string(),
+                    _ => return usage(),
+                }
+                first = false;
+            }
+            let Some(spec) = spec_by_name(&benchmark) else {
+                eprintln!("unknown benchmark {benchmark:?} (try `list`)");
+                return ExitCode::FAILURE;
+            };
+            match run_chaos_matrix(&spec, scale, seed, out.as_deref()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(code) => code,
             }
         }
         Some("compare") => {

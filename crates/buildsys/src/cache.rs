@@ -8,8 +8,25 @@
 //! Propeller's Phase 4 "regenerate only the hot modules" cheap: every
 //! cold object is a cache hit.
 
+use propeller_faults::{FaultInjector, FaultKind};
 use propeller_obj::ContentHash;
 use std::collections::HashMap;
+
+/// What a verified lookup observed about the entry it touched.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CacheEvent {
+    /// The entry was present and its content digest verified.
+    Hit,
+    /// No entry was stored under the key.
+    Miss,
+    /// An entry was present but its content digest did not match its
+    /// key: the cache invalidated it and reported a miss. The caller
+    /// must rebuild the artifact.
+    CorruptInvalidated,
+    /// The entry had been silently evicted between insert and lookup;
+    /// indistinguishable from a plain miss except to the ledger.
+    Evicted,
+}
 
 /// Cumulative cache counters.
 ///
@@ -56,15 +73,42 @@ impl CacheStats {
     }
 }
 
+/// A stored artifact plus the content digest recorded at insert time.
+///
+/// The digest is derived from the key, so a verifying lookup can
+/// recompute the expected value and detect storage-level corruption
+/// (modeled by the fault injector flipping the stored digest) without
+/// trusting the entry itself.
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    value: T,
+    digest: u64,
+}
+
+/// Extra mixing over the raw key hash, so the stored digest is not
+/// trivially equal to the key the map is addressed by.
+fn digest_of(key: ContentHash) -> u64 {
+    let mut z = key.0 ^ 0xD1E5_7A1E_5EED_F00D;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A content-addressed cache from input hashes to artifacts of type
 /// `T`.
 ///
 /// `T` is whatever a build action produces — an IR fingerprint, a
 /// shared object-file artifact — and is returned by clone, so sharable
 /// artifacts are usually stored as `Arc<..>`.
+///
+/// Every entry carries a content digest recorded at insert;
+/// [`lookup_verified`](ActionCache::lookup_verified) re-derives the
+/// expected digest from the key and treats a mismatch as corruption:
+/// the entry is invalidated and the lookup reports a miss, so callers
+/// rebuild instead of consuming a damaged artifact.
 #[derive(Clone, Debug)]
 pub struct ActionCache<T> {
-    map: HashMap<ContentHash, T>,
+    map: HashMap<ContentHash, Entry<T>>,
     stats: CacheStats,
 }
 
@@ -104,22 +148,70 @@ impl<T> ActionCache<T> {
     /// thing).
     pub fn insert(&mut self, key: ContentHash, value: T) {
         self.stats.insertions += 1;
-        self.map.insert(key, value);
+        self.map.insert(key, Entry { value, digest: digest_of(key) });
     }
 }
 
 impl<T: Clone> ActionCache<T> {
-    /// Looks up `key`, counting a hit or a miss.
+    /// Looks up `key`, counting a hit or a miss. Digest verification
+    /// still runs (a corrupt entry is invalidated and reported as a
+    /// miss); this is [`lookup_verified`](ActionCache::lookup_verified)
+    /// without an injector.
     pub fn lookup(&mut self, key: ContentHash) -> Option<T> {
+        self.lookup_verified(key, None).0
+    }
+
+    /// Looks up `key`, verifying the stored content digest, with an
+    /// optional fault injector modeling storage-level damage.
+    ///
+    /// When an injector is supplied and an entry exists, the lookup
+    /// first rolls for [`FaultKind::CacheEviction`] (the entry
+    /// vanishes silently) and then [`FaultKind::CacheCorruption`] (the
+    /// stored digest is flipped, which the verification below then
+    /// genuinely detects). Faults only roll against live entries, so
+    /// every fired cache fault corresponds to exactly one observable
+    /// [`CacheEvent`] — that is what lets the degradation ledger
+    /// account for injected faults exactly.
+    ///
+    /// Anything other than [`CacheEvent::Hit`] counts as a miss in
+    /// [`CacheStats`], preserving `hits + misses == lookups`.
+    pub fn lookup_verified(
+        &mut self,
+        key: ContentHash,
+        faults: Option<&FaultInjector>,
+    ) -> (Option<T>, CacheEvent) {
         self.stats.lookups += 1;
+        if self.map.contains_key(&key) {
+            if let Some(inj) = faults {
+                let site = format!("{:016x}", key.0);
+                if inj.fires(FaultKind::CacheEviction, &site) {
+                    self.map.remove(&key);
+                    self.stats.misses += 1;
+                    return (None, CacheEvent::Evicted);
+                }
+                if inj.fires(FaultKind::CacheCorruption, &site) {
+                    if let Some(entry) = self.map.get_mut(&key) {
+                        entry.digest ^= 0xDEAD_BEEF_0BAD_CAFE;
+                    }
+                }
+            }
+        }
         match self.map.get(&key) {
-            Some(v) => {
+            Some(entry) if entry.digest == digest_of(key) => {
                 self.stats.hits += 1;
-                Some(v.clone())
+                (Some(entry.value.clone()), CacheEvent::Hit)
+            }
+            Some(_) => {
+                // Digest mismatch: the artifact can't be trusted.
+                // Drop it so the caller's rebuild re-inserts a clean
+                // entry.
+                self.map.remove(&key);
+                self.stats.misses += 1;
+                (None, CacheEvent::CorruptInvalidated)
             }
             None => {
                 self.stats.misses += 1;
-                None
+                (None, CacheEvent::Miss)
             }
         }
     }
@@ -180,6 +272,47 @@ mod tests {
         let c: ActionCache<u32> = ActionCache::new();
         assert!(c.is_empty());
         assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn verified_lookup_without_injector_matches_plain_lookup() {
+        let mut c = ActionCache::new();
+        c.insert(key(3), "v");
+        assert_eq!(c.lookup_verified(key(3), None), (Some("v"), CacheEvent::Hit));
+        assert_eq!(c.lookup_verified(key(4), None), (None, CacheEvent::Miss));
+    }
+
+    #[test]
+    fn corruption_is_detected_invalidated_and_rebuildable() {
+        use propeller_faults::{FaultPlan, FaultSpec};
+        let plan = FaultPlan { cache_corruption: FaultSpec::always(), ..FaultPlan::none() };
+        let inj = FaultInjector::new(plan, 1);
+        let mut c = ActionCache::new();
+        c.insert(key(5), "artifact");
+        let (v, ev) = c.lookup_verified(key(5), Some(&inj));
+        assert_eq!((v, ev), (None, CacheEvent::CorruptInvalidated));
+        assert!(c.is_empty(), "corrupt entry must be invalidated");
+        // The rebuild re-inserts a clean entry that verifies again.
+        c.insert(key(5), "rebuilt");
+        assert_eq!(c.lookup(key(5)), Some("rebuilt"));
+        let s = c.stats();
+        assert_eq!((s.lookups, s.hits, s.misses), (2, 1, 1));
+        assert_eq!(inj.fired(FaultKind::CacheCorruption), 1);
+    }
+
+    #[test]
+    fn eviction_is_a_silent_miss() {
+        use propeller_faults::{FaultPlan, FaultSpec};
+        let plan = FaultPlan { cache_eviction: FaultSpec::always(), ..FaultPlan::none() };
+        let inj = FaultInjector::new(plan, 2);
+        let mut c = ActionCache::new();
+        c.insert(key(6), 99);
+        assert_eq!(c.lookup_verified(key(6), Some(&inj)), (None, CacheEvent::Evicted));
+        assert!(c.is_empty());
+        // Faults only roll against live entries: a lookup of an absent
+        // key is a plain miss and fires nothing.
+        assert_eq!(c.lookup_verified(key(6), Some(&inj)), (None, CacheEvent::Miss));
+        assert_eq!(inj.fired(FaultKind::CacheEviction), 1);
     }
 
     #[test]

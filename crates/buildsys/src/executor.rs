@@ -2,7 +2,9 @@
 //! distributed and workstation builds.
 
 use crate::{ActionSpec, BuildError, PhaseReport, GIB};
+use propeller_faults::{FaultInjector, FaultKind, RetryPolicy};
 use propeller_telemetry::{SpanId, Telemetry};
+use std::sync::Arc;
 
 /// Where a build's actions run.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -66,12 +68,49 @@ impl Default for MachineConfig {
 #[derive(Clone, Debug)]
 pub struct Executor {
     machine: MachineConfig,
+    /// When present, scheduled faults
+    /// ([transient failures](FaultKind::TransientActionFailure) and
+    /// [timeouts](FaultKind::ActionTimeout)) hit actions run through
+    /// [`run_phase_resilient_traced`](Executor::run_phase_resilient_traced),
+    /// which retries them under `retry`.
+    faults: Option<Arc<FaultInjector>>,
+    retry: RetryPolicy,
+}
+
+/// Per-phase retry accounting from a resilient run, feeding the
+/// degradation ledger. All-zero when no fault fired.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResilienceReport {
+    /// Attempts that failed transiently and were retried.
+    pub retries: u64,
+    /// Attempts that hit the modeled timeout deadline.
+    pub timeouts: u64,
+    /// Modeled seconds spent waiting in backoff (incl. jitter).
+    pub backoff_secs: f64,
 }
 
 impl Executor {
-    /// Creates an executor for `machine`.
+    /// Creates an executor for `machine` with no fault injection.
     pub fn new(machine: MachineConfig) -> Self {
-        Executor { machine }
+        Executor { machine, faults: None, retry: RetryPolicy::default() }
+    }
+
+    /// Attaches a fault injector and the retry policy that absorbs the
+    /// faults it schedules.
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>, retry: RetryPolicy) -> Self {
+        self.faults = Some(faults);
+        self.retry = retry;
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// The retry policy used by the resilient phase runner.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The machine this executor schedules onto.
@@ -157,6 +196,114 @@ impl Executor {
             );
         }
         Ok(report)
+    }
+
+    /// [`run_phase_traced`](Executor::run_phase_traced) with fault
+    /// absorption: transient failures and timeouts scheduled by the
+    /// attached injector are retried under the [`RetryPolicy`], with
+    /// exponential backoff + deterministic jitter charged in *modeled*
+    /// seconds (nothing sleeps).
+    ///
+    /// Retry semantics: faults only roll on attempts that still have
+    /// retry budget left, so the final budgeted attempt of a flaky
+    /// action always succeeds — modeling the build system reassigning
+    /// the action to a healthy worker. Failed attempts burn their full
+    /// modeled cost (the action's CPU seconds for a transient crash,
+    /// the timeout deadline for a hang), and each retry waits out a
+    /// backoff; all of it lands in the phase's wall/CPU accounting, so
+    /// chaos shows up in Table-5-style numbers instead of being free.
+    ///
+    /// Without an injector (or with an empty plan) this is exactly
+    /// [`run_phase_traced`](Executor::run_phase_traced): same report,
+    /// same spans, zero [`ResilienceReport`] — the guarantee behind
+    /// "zero-fault runs are bit-identical".
+    pub fn run_phase_resilient_traced(
+        &self,
+        actions: &[ActionSpec],
+        tel: &Telemetry,
+        parent: Option<SpanId>,
+    ) -> Result<(PhaseReport, ResilienceReport), BuildError> {
+        let inj = match &self.faults {
+            Some(inj) if !inj.plan().is_none() => inj,
+            _ => {
+                let report = self.run_phase_traced(actions, tel, parent)?;
+                return Ok((report, ResilienceReport::default()));
+            }
+        };
+        // Admission control is unchanged: an over-limit action is a
+        // plan error, not a fault to retry.
+        if let Some(limit) = self.machine.ram_limit() {
+            if let Some(over) = actions.iter().find(|a| a.peak_rss_bytes > limit) {
+                return Err(BuildError::ActionOverMemoryLimit {
+                    action: over.name.clone(),
+                    needed_bytes: over.peak_rss_bytes,
+                    limit_bytes: limit,
+                });
+            }
+        }
+        if actions.is_empty() {
+            return Ok((PhaseReport::default(), ResilienceReport::default()));
+        }
+        let mut res = ResilienceReport::default();
+        let mut cpu_secs = 0.0f64;
+        let mut critical_path = 0.0f64;
+        let mut serial_latency = 0.0f64;
+        for a in actions {
+            // One worker's modeled timeline for this action: failed
+            // attempts + backoffs + the final successful run.
+            let mut work = 0.0f64; // CPU the attempts burned
+            let mut waited = 0.0f64; // backoff between attempts
+            let mut attempt: u32 = 0;
+            loop {
+                let retryable = attempt + 1 < self.retry.max_attempts.max(1);
+                // Roll order is fixed (hang before crash) and rolls
+                // only happen while budget remains, so every fired
+                // fault is observed and retried exactly once.
+                if retryable && inj.fires(FaultKind::ActionTimeout, &a.name) {
+                    work += self.retry.timeout_secs;
+                    res.timeouts += 1;
+                } else if retryable && inj.fires(FaultKind::TransientActionFailure, &a.name) {
+                    work += a.cpu_secs;
+                    res.retries += 1;
+                } else {
+                    work += a.cpu_secs;
+                    break;
+                }
+                let backoff = self.retry.backoff_secs(inj, &a.name, attempt);
+                waited += backoff;
+                res.backoff_secs += backoff;
+                attempt += 1;
+            }
+            let latency = work + waited;
+            cpu_secs += work;
+            critical_path = critical_path.max(latency);
+            serial_latency += latency;
+            if tel.is_enabled() {
+                tel.emit_span(format!("action:{}", a.name), parent, latency, a.peak_rss_bytes);
+                tel.observe("executor.action_rss_bytes", a.peak_rss_bytes as f64);
+            }
+        }
+        let wall_secs = match self.machine {
+            MachineConfig::Distributed { dispatch_secs, .. } => dispatch_secs + critical_path,
+            MachineConfig::Workstation => serial_latency,
+        };
+        let report = PhaseReport {
+            wall_secs,
+            cpu_secs,
+            num_actions: actions.len(),
+            max_action_memory: actions.iter().map(|a| a.peak_rss_bytes).max().unwrap_or(0),
+        };
+        if tel.is_enabled() {
+            tel.counter_add("executor.actions", actions.len() as u64);
+            tel.gauge_max("executor.max_action_rss_bytes", report.max_action_memory as f64);
+            if res.retries > 0 {
+                tel.counter_add("executor.action_retries", res.retries);
+            }
+            if res.timeouts > 0 {
+                tel.counter_add("executor.action_timeouts", res.timeouts);
+            }
+        }
+        Ok((report, res))
     }
 }
 
@@ -251,6 +398,91 @@ mod tests {
         let r = ex.run_phase_traced(&phase(), &tel, None).unwrap();
         assert_eq!(r.num_actions, 3);
         assert!(tel.drain().spans.is_empty());
+    }
+
+    #[test]
+    fn resilient_without_faults_matches_legacy_exactly() {
+        let ex = Executor::new(MachineConfig::distributed());
+        let tel = Telemetry::enabled();
+        let (r, res) = ex.run_phase_resilient_traced(&phase(), &tel, None).unwrap();
+        assert_eq!(r, ex.run_phase(&phase()).unwrap());
+        assert_eq!(res, ResilienceReport::default());
+        let trace = tel.drain();
+        assert_eq!(trace.spans.len(), 3);
+        assert_eq!(trace.metrics.counter("executor.action_retries"), 0);
+    }
+
+    #[test]
+    fn always_transient_retries_and_charges_wasted_work() {
+        use propeller_faults::{FaultPlan, FaultSpec};
+        let plan =
+            FaultPlan { transient_action_failure: FaultSpec::always(), ..FaultPlan::none() };
+        let rp = RetryPolicy { jitter_frac: 0.0, ..RetryPolicy::default() };
+        let ex = Executor::new(MachineConfig::workstation())
+            .with_faults(Arc::new(FaultInjector::new(plan, 3)), rp);
+        let actions = [ActionSpec::new("a", 1.0, 100)];
+        let (r, res) = ex
+            .run_phase_resilient_traced(&actions, &Telemetry::disabled(), None)
+            .unwrap();
+        // 4 attempts: 3 transient failures + the guaranteed final
+        // success, plus backoffs 0.5 + 1.0 + 2.0.
+        assert_eq!(res.retries, 3);
+        assert_eq!(res.timeouts, 0);
+        assert!((res.backoff_secs - 3.5).abs() < 1e-12);
+        assert!((r.cpu_secs - 4.0).abs() < 1e-12);
+        assert!((r.wall_secs - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn always_timeout_burns_deadline_not_cpu() {
+        use propeller_faults::{FaultPlan, FaultSpec};
+        let plan = FaultPlan { action_timeout: FaultSpec::count(1.0, 1), ..FaultPlan::none() };
+        let rp = RetryPolicy { jitter_frac: 0.0, timeout_secs: 10.0, ..RetryPolicy::default() };
+        let ex = Executor::new(MachineConfig::workstation())
+            .with_faults(Arc::new(FaultInjector::new(plan, 3)), rp);
+        let actions = [ActionSpec::new("a", 1.0, 100)];
+        let (r, res) = ex
+            .run_phase_resilient_traced(&actions, &Telemetry::disabled(), None)
+            .unwrap();
+        assert_eq!(res.timeouts, 1);
+        // Hung attempt (10 s) + backoff (0.5 s) + clean rerun (1 s).
+        assert!((r.cpu_secs - 11.0).abs() < 1e-12);
+        assert!((r.wall_secs - 11.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resilient_runs_are_deterministic() {
+        use propeller_faults::{FaultPlan, FaultSpec};
+        let plan = FaultPlan {
+            transient_action_failure: FaultSpec::p(0.4),
+            action_timeout: FaultSpec::p(0.2),
+            ..FaultPlan::none()
+        };
+        let run = |seed| {
+            let ex = Executor::new(MachineConfig::distributed()).with_faults(
+                Arc::new(FaultInjector::new(plan.clone(), seed)),
+                RetryPolicy::default(),
+            );
+            ex.run_phase_resilient_traced(&phase(), &Telemetry::disabled(), None).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn resilient_still_rejects_over_limit_actions() {
+        use propeller_faults::{FaultPlan, FaultSpec};
+        let plan =
+            FaultPlan { transient_action_failure: FaultSpec::always(), ..FaultPlan::none() };
+        let ex = Executor::new(MachineConfig::distributed())
+            .with_faults(Arc::new(FaultInjector::new(plan, 1)), RetryPolicy::default());
+        let err = ex
+            .run_phase_resilient_traced(
+                &[ActionSpec::new("llvm-bolt", 600.0, 36 * GIB)],
+                &Telemetry::disabled(),
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, BuildError::ActionOverMemoryLimit { .. }));
     }
 
     #[test]

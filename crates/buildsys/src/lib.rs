@@ -49,10 +49,10 @@ mod executor;
 mod meter;
 
 pub use action::{ActionSpec, PhaseReport};
-pub use cache::{ActionCache, CacheStats};
+pub use cache::{ActionCache, CacheEvent, CacheStats};
 pub use cost::CostModel;
 pub use error::BuildError;
-pub use executor::{Executor, MachineConfig};
+pub use executor::{Executor, MachineConfig, ResilienceReport};
 pub use meter::{MemoryMeter, MeteredSize};
 
 /// One gibibyte, the unit of the paper's per-action memory limits.

@@ -1,8 +1,14 @@
 //! Pipeline errors.
+//!
+//! Every variant wraps its typed source error (no stringification), so
+//! degradation logic can match on causes — e.g. distinguishing a
+//! [`BuildError::ActionOverMemoryLimit`] plan error (not retryable)
+//! from an [`ImageError::MissingFunction`] layout inconsistency.
 
 use propeller_buildsys::BuildError;
 use propeller_codegen::CodegenError;
 use propeller_linker::LinkError;
+use propeller_sim::ImageError;
 use std::error::Error;
 use std::fmt;
 
@@ -21,7 +27,17 @@ pub enum PipelineError {
         needs: &'static str,
     },
     /// The simulator could not build an image from the linked binary.
-    Image(String),
+    /// The nested [`ImageError`] names the exact inconsistency
+    /// (missing function/block, malformed branch bytes).
+    Image(ImageError),
+    /// An internal invariant the pipeline relies on did not hold.
+    /// Reaching this is a bug in the pipeline, not in its inputs; it
+    /// is a typed error instead of a panic so chaos runs degrade
+    /// rather than abort.
+    Internal {
+        /// The violated invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -34,6 +50,9 @@ impl fmt::Display for PipelineError {
                 write!(f, "phase invoked before {needs} completed")
             }
             PipelineError::Image(e) => write!(f, "simulator image construction failed: {e}"),
+            PipelineError::Internal { what } => {
+                write!(f, "pipeline invariant violated: {what}")
+            }
         }
     }
 }
@@ -44,7 +63,8 @@ impl Error for PipelineError {
             PipelineError::Codegen(e) => Some(e),
             PipelineError::Link(e) => Some(e),
             PipelineError::Build(e) => Some(e),
-            _ => None,
+            PipelineError::Image(e) => Some(e),
+            PipelineError::PhaseOrder { .. } | PipelineError::Internal { .. } => None,
         }
     }
 }
@@ -67,6 +87,12 @@ impl From<BuildError> for PipelineError {
     }
 }
 
+impl From<ImageError> for PipelineError {
+    fn from(e: ImageError) -> Self {
+        PipelineError::Image(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,7 +101,26 @@ mod tests {
     fn display_and_source() {
         let e = PipelineError::PhaseOrder { needs: "phase 3" };
         assert!(e.to_string().contains("phase 3"));
+        assert!(e.source().is_none());
         let e = PipelineError::Link(LinkError::DuplicateSymbol("x".into()));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn image_variant_preserves_the_typed_cause() {
+        let e = PipelineError::from(ImageError::MissingFunction("hot_fn".into()));
+        // Degradation logic can match on the nested cause…
+        assert!(matches!(
+            e,
+            PipelineError::Image(ImageError::MissingFunction(ref name)) if name == "hot_fn"
+        ));
+        // …and the source chain is intact for error reporters.
+        assert!(e.source().unwrap().to_string().contains("hot_fn"));
+    }
+
+    #[test]
+    fn internal_variant_names_the_invariant() {
+        let e = PipelineError::Internal { what: "profiler returned no profile" };
+        assert!(e.to_string().contains("no profile"));
     }
 }

@@ -51,6 +51,10 @@ pub use report::{EvalReport, PhaseTimes, PropellerReport};
 
 // Re-export the pieces a downstream user needs to drive the pipeline.
 pub use propeller_buildsys::{CostModel, MachineConfig};
+pub use propeller_faults::{
+    DegradationLedger, FaultInjector, FaultKind, FaultPlan, FaultPlanParseError, FaultSpec,
+    LayoutMode, RetryPolicy,
+};
 pub use propeller_linker::LinkedBinary;
 pub use propeller_profile::SamplingConfig;
 pub use propeller_sim::{CounterSet, UarchConfig, Workload};

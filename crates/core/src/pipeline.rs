@@ -4,14 +4,22 @@ use crate::error::PipelineError;
 use crate::fingerprint::module_fingerprint;
 use crate::report::{EvalReport, PhaseTimes, PropellerReport};
 use parking_lot::Mutex;
-use propeller_buildsys::{ActionCache, ActionSpec, CostModel, Executor, MachineConfig, PhaseReport};
+use propeller_buildsys::{
+    ActionCache, ActionSpec, CacheEvent, CostModel, Executor, MachineConfig, PhaseReport,
+    ResilienceReport,
+};
 use propeller_codegen::{
     codegen_module_traced, CodegenError, CodegenOptions, CodegenResult, FunctionClusters,
+};
+use propeller_faults::{
+    DegradationLedger, FaultInjector, FaultKind, FaultPlan, LayoutMode, RetryPolicy,
 };
 use propeller_ir::{FunctionId, Program};
 use propeller_linker::{link_traced, LinkInput, LinkOptions, LinkedBinary};
 use propeller_obj::ContentHash;
-use propeller_profile::{HardwareProfile, SamplingConfig};
+use propeller_profile::{
+    degrade_profile, salvage_profile, HardwareProfile, SamplingConfig,
+};
 use propeller_sim::{simulate_traced, CounterSet, ProgramImage, SimOptions, UarchConfig, Workload};
 use propeller_telemetry::{SpanId, Telemetry};
 use propeller_wpa::{apply_prefetches, prefetch_directives, run_wpa_traced, WpaOptions, WpaOutput};
@@ -39,6 +47,19 @@ pub struct PropellerOptions {
     /// the pass, inserting prefetches at call sites whose callee entry
     /// missed the L1i at least `min_misses` times during profiling.
     pub prefetch: Option<u64>,
+    /// Scheduled faults for chaos testing. The default (empty) plan
+    /// injects nothing and the pipeline takes the exact legacy code
+    /// path — zero-fault runs are bit-identical to builds without a
+    /// fault layer.
+    pub faults: FaultPlan,
+    /// Retry budget / backoff for transient action failures and
+    /// timeouts (only consulted when `faults` schedules any).
+    pub retry: RetryPolicy,
+    /// Minimum fraction of LBR records that must survive salvage for
+    /// the WPA layout to be trusted. Below the floor, the hot
+    /// functions are marked cold and the relink falls back to the
+    /// identity symbol order (a correct, baseline-equivalent layout).
+    pub profile_floor: f64,
 }
 
 impl Default for PropellerOptions {
@@ -52,6 +73,9 @@ impl Default for PropellerOptions {
             cost: CostModel::default(),
             seed: 0x5eed,
             prefetch: None,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            profile_floor: 0.25,
         }
     }
 }
@@ -111,6 +135,11 @@ pub struct Propeller {
     times: PhaseTimes,
     hot_module_fraction: f64,
     tel: Telemetry,
+    /// Present iff the options schedule any fault; `None` keeps every
+    /// hot path on the exact legacy branch.
+    injector: Option<Arc<FaultInjector>>,
+    /// Running account of every degradation this pipeline performed.
+    ledger: DegradationLedger,
 }
 
 fn tag(s: &str) -> ContentHash {
@@ -148,7 +177,15 @@ impl Propeller {
         opts: PropellerOptions,
         caches: BuildCaches,
     ) -> Self {
-        let executor = Executor::new(opts.machine);
+        let injector = if opts.faults.is_none() {
+            None
+        } else {
+            Some(Arc::new(FaultInjector::new(opts.faults.clone(), opts.seed)))
+        };
+        let mut executor = Executor::new(opts.machine);
+        if let Some(inj) = &injector {
+            executor = executor.with_faults(inj.clone(), opts.retry);
+        }
         let fingerprints = program.modules().iter().map(module_fingerprint).collect();
         Propeller {
             program: Arc::new(program),
@@ -169,6 +206,8 @@ impl Propeller {
             times: PhaseTimes::default(),
             hot_module_fraction: 0.0,
             tel: Telemetry::disabled(),
+            injector,
+            ledger: DegradationLedger::default(),
         }
     }
 
@@ -225,6 +264,42 @@ impl Propeller {
         &self.opts
     }
 
+    /// The degradation ledger accumulated so far. Clean unless the
+    /// configured fault plan actually fired.
+    pub fn degradation(&self) -> &DegradationLedger {
+        &self.ledger
+    }
+
+    /// The fault injector, when the options schedule faults.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// Folds one resilient phase run's retry accounting into the
+    /// ledger.
+    fn absorb_resilience(&mut self, res: ResilienceReport) {
+        self.ledger.action_retries += res.retries;
+        self.ledger.action_timeouts += res.timeouts;
+        self.ledger.retry_backoff_secs += res.backoff_secs;
+    }
+
+    /// Folds one verified cache lookup's outcome into the ledger. A
+    /// corrupt or evicted entry forces a rebuild (the caller recomputes
+    /// on the reported miss), so both count one `cache_rebuilds`.
+    fn absorb_cache_event(&mut self, event: CacheEvent) {
+        match event {
+            CacheEvent::CorruptInvalidated => {
+                self.ledger.cache_corruptions += 1;
+                self.ledger.cache_rebuilds += 1;
+            }
+            CacheEvent::Evicted => {
+                self.ledger.cache_evictions += 1;
+                self.ledger.cache_rebuilds += 1;
+            }
+            CacheEvent::Hit | CacheEvent::Miss => {}
+        }
+    }
+
     /// Per-phase times so far.
     pub fn times(&self) -> &PhaseTimes {
         &self.times
@@ -245,10 +320,17 @@ impl Propeller {
     /// machine's memory limit.
     pub fn phase1_compile(&mut self) -> Result<PhaseReport, PipelineError> {
         let mut span = self.tel.span("phase1.compile");
+        let injector = self.injector.clone();
         let mut actions = Vec::new();
+        let mut events = Vec::new();
         for (m, &fp) in self.program.modules().iter().zip(&self.fingerprints) {
-            let (_, hit) = self.caches.ir.lock().get_or_compute(fp, || fp);
-            if !hit {
+            let (artifact, event) =
+                self.caches.ir.lock().lookup_verified(fp, injector.as_deref());
+            events.push(event);
+            if artifact.is_none() {
+                // Miss (incl. a corrupt or evicted entry that was just
+                // invalidated): recompile and re-insert a clean entry.
+                self.caches.ir.lock().insert(fp, fp);
                 let insts: u64 = m.functions.iter().map(|f| f.num_insts() as u64).sum();
                 actions.push(ActionSpec::new(
                     format!("compile {}", m.name),
@@ -257,9 +339,13 @@ impl Propeller {
                 ));
             }
         }
-        let report = self
-            .executor
-            .run_phase_traced(&actions, &self.tel, span.id())?;
+        for e in events {
+            self.absorb_cache_event(e);
+        }
+        let (report, res) =
+            self.executor
+                .run_phase_resilient_traced(&actions, &self.tel, span.id())?;
+        self.absorb_resilience(res);
         span.set_sim_secs(report.wall_secs);
         span.set_peak_bytes(report.max_action_memory);
         self.compiled = true;
@@ -282,15 +368,27 @@ impl Propeller {
     ) -> Result<(Vec<Arc<CodegenResult>>, Vec<ActionSpec>), PipelineError> {
         let mut artifacts: Vec<Option<Arc<CodegenResult>>> = vec![None; plan.len()];
         let mut misses: Vec<(usize, ContentHash, Arc<CodegenOptions>)> = Vec::new();
+        let injector = self.injector.clone();
+        let mut events = Vec::new();
         {
+            // Lookups run under the lock in plan order, so fault rolls
+            // against cache entries are deterministic regardless of
+            // worker interleaving below.
             let mut cache = self.caches.obj.lock();
             for (pos, (module_idx, key, cg)) in plan.iter().enumerate() {
-                match cache.lookup(*key) {
+                let (artifact, event) = cache.lookup_verified(*key, injector.as_deref());
+                events.push(event);
+                match artifact {
                     Some(artifact) => artifacts[pos] = Some(artifact),
+                    // A corrupt/evicted entry surfaces as a miss here,
+                    // so the rebuild below re-inserts a clean artifact.
                     None => misses.push((pos, *key, cg.clone())),
                 }
                 let _ = module_idx;
             }
+        }
+        for e in events {
+            self.absorb_cache_event(e);
         }
 
         let modules = program.modules();
@@ -339,6 +437,10 @@ impl Propeller {
                         });
                     }
                 })
+                // Infallible: `scope` only errors when a child thread
+                // panicked, and the workers return codegen failures as
+                // values instead of panicking; a panic here is a bug
+                // worth propagating loudly.
                 .expect("codegen workers do not panic");
                 results.into_inner()
             };
@@ -361,10 +463,19 @@ impl Propeller {
                 artifacts[pos] = Some(artifact);
             }
         }
-        Ok((
-            artifacts.into_iter().map(|a| a.expect("filled")).collect(),
-            actions,
-        ))
+        // Every plan position was filled either by a cache hit above
+        // or by the miss loop; an empty slot would mean a worker
+        // dropped a module, which must surface as a typed error rather
+        // than a panic.
+        let artifacts = artifacts
+            .into_iter()
+            .map(|a| {
+                a.ok_or(PipelineError::Internal {
+                    what: "codegen batch left an artifact slot unfilled",
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((artifacts, actions))
     }
 
     /// Phase 2: code-generate every module with BB address map
@@ -389,9 +500,10 @@ impl Propeller {
             .iter()
             .map(|a| LinkInput::new(a.object.clone(), a.debug_layout.clone()))
             .collect();
-        let codegen_phase = self
-            .executor
-            .run_phase_traced(&actions, &self.tel, span_id)?;
+        let (codegen_phase, res) =
+            self.executor
+                .run_phase_resilient_traced(&actions, &self.tel, span_id)?;
+        self.absorb_resilience(res);
         let bin = link_traced(
             &inputs,
             &LinkOptions {
@@ -401,7 +513,7 @@ impl Propeller {
             &self.tel,
             span_id,
         )?;
-        let link_phase = self.executor.run_phase_traced(
+        let (link_phase, res) = self.executor.run_phase_resilient_traced(
             &[ActionSpec::new(
                 "link app.pm",
                 self.opts.cost.link_secs(bin.stats.input_bytes),
@@ -410,6 +522,7 @@ impl Propeller {
             &self.tel,
             span_id,
         )?;
+        self.absorb_resilience(res);
         self.times.phase2 = codegen_phase.then(&link_phase);
         span.set_sim_secs(self.times.phase2.wall_secs);
         span.set_peak_bytes(self.times.phase2.max_action_memory);
@@ -430,8 +543,7 @@ impl Propeller {
         };
         let mut span = self.tel.span("phase3.profile_and_analyze");
         let span_id = span.id();
-        let image = ProgramImage::build(&self.program, &pm.layout)
-            .map_err(|e| PipelineError::Image(e.to_string()))?;
+        let image = ProgramImage::build(&self.program, &pm.layout)?;
         let run = simulate_traced(
             &image,
             &self.workload(self.opts.profile_budget),
@@ -446,11 +558,41 @@ impl Propeller {
         );
         self.call_misses = run.call_misses;
         self.profiled_counters = Some(run.counters);
-        let profile = run.profile.expect("sampling enabled");
+        let mut profile = run.profile.ok_or(PipelineError::Internal {
+            what: "profiler returned no profile despite sampling being enabled",
+        })?;
+        // Model in-flight profile damage, then salvage what survives:
+        // corrupt records are dropped, truncated samples keep their
+        // committed prefix. The pipeline continues on whatever is
+        // left — possibly nothing.
+        let mut survival = 1.0f64;
+        if let Some(inj) = self.injector.clone() {
+            let stats = degrade_profile(&mut profile, &inj);
+            let (salvaged, stats) =
+                salvage_profile(&profile, pm.text_start..pm.text_end, stats);
+            stats.record_into(&mut self.ledger);
+            survival = stats.survival_rate();
+            profile = salvaged;
+        }
         let wpa = run_wpa_traced(&self.program, &pm, &profile, &self.opts.wpa, &self.tel, span_id);
+        // Coverage floor: when too little of the profile survived, the
+        // layout it implies cannot be trusted. Mark the affected hot
+        // functions cold and fall back to the identity symbol order —
+        // Phase 4 then reuses every Phase 2 artifact and the relink
+        // yields a correct, baseline-equivalent binary.
+        let wpa = if survival < self.opts.profile_floor {
+            self.ledger.functions_marked_cold += wpa.stats.hot_functions as u64;
+            self.ledger.layout_mode = LayoutMode::IdentityFallback;
+            if self.tel.is_enabled() {
+                self.tel.counter_add("faults.layout_fallbacks", 1);
+            }
+            WpaOutput::identity_fallback(wpa.stats)
+        } else {
+            wpa
+        };
         let cpu = self.opts.cost.profile_conversion_secs(profile.raw_size_bytes())
             + self.opts.cost.wpa_secs(wpa.stats.dcfg_edges as u64);
-        let report = self.executor.run_phase_traced(
+        let (report, res) = self.executor.run_phase_resilient_traced(
             &[ActionSpec::new(
                 "whole-program analysis",
                 cpu,
@@ -459,6 +601,7 @@ impl Propeller {
             &self.tel,
             span_id,
         )?;
+        self.absorb_resilience(res);
         self.times.phase3 = report;
         span.set_sim_secs(report.wall_secs);
         span.set_peak_bytes(report.max_action_memory);
@@ -488,7 +631,13 @@ impl Propeller {
         // codegen actions).
         let phase4_program: Arc<Program> = match (self.opts.prefetch, &self.call_misses) {
             (Some(min_misses), Some(misses)) => {
-                let pm = self.pm_binary.as_ref().expect("phase 2 ran");
+                // Phase 3 required the PM binary, so it exists here;
+                // stay typed rather than panicking if that invariant
+                // ever breaks.
+                let pm = self
+                    .pm_binary
+                    .as_ref()
+                    .ok_or(PipelineError::PhaseOrder { needs: "phase 2" })?;
                 let directives =
                     prefetch_directives(&self.program, pm, misses, min_misses, 2);
                 Arc::new(apply_prefetches(&self.program, &directives))
@@ -505,7 +654,12 @@ impl Propeller {
         let mut hot_modules = 0usize;
         let labels = Arc::new(CodegenOptions::with_labels());
         let clusters_cg = Arc::new(CodegenOptions::with_clusters(cluster_map.clone()));
+        let injector = self.injector.clone();
         let mut plan = Vec::with_capacity(phase4_program.num_modules());
+        // Modeled cost of hot re-codegens that permanently failed:
+        // every budgeted attempt ran and died, so the wasted work still
+        // lands in the phase's time accounting.
+        let mut failed_actions = Vec::new();
         for (i, (module, fp)) in phase4_program
             .modules()
             .iter()
@@ -521,8 +675,34 @@ impl Propeller {
                 });
             let (key, cg) = match directive_hash {
                 Some(dh) => {
-                    hot_modules += 1;
-                    (fp.combine(tag("clusters")).combine(dh), clusters_cg.clone())
+                    let permanent_failure = injector
+                        .as_deref()
+                        .is_some_and(|inj| {
+                            inj.fires(FaultKind::PermanentCodegenFailure, &module.name)
+                        });
+                    if permanent_failure {
+                        // Per-object graceful degradation: the hot
+                        // re-codegen cannot succeed on any worker, so
+                        // this object ships the cached baseline
+                        // (Phase 2 labels) codegen instead. The module
+                        // keeps its PM layout — correct, just not
+                        // cluster-optimized. If that cached artifact
+                        // is itself corrupt or evicted, codegen_batch
+                        // rebuilds it (a counted cache rebuild).
+                        let insts: u64 =
+                            module.functions.iter().map(|f| f.num_insts() as u64).sum();
+                        failed_actions.push(ActionSpec::new(
+                            format!("codegen {} (permanent failure)", module.name),
+                            f64::from(self.opts.retry.max_attempts.max(1))
+                                * self.opts.cost.codegen_secs(insts),
+                            64 << 20,
+                        ));
+                        self.ledger.objects_fallen_back += 1;
+                        (fp.combine(tag("labels")), labels.clone())
+                    } else {
+                        hot_modules += 1;
+                        (fp.combine(tag("clusters")).combine(dh), clusters_cg.clone())
+                    }
                 }
                 // Module without cluster directives: its Phase 4
                 // inputs are identical to the Phase 2 action's, so this
@@ -535,14 +715,16 @@ impl Propeller {
             plan.push((i, key, cg));
         }
         self.hot_module_fraction = hot_modules as f64 / self.program.num_modules().max(1) as f64;
-        let (artifacts, actions) = self.codegen_batch(&phase4_program.clone(), plan, span_id)?;
+        let (artifacts, mut actions) = self.codegen_batch(&phase4_program.clone(), plan, span_id)?;
+        actions.append(&mut failed_actions);
         let inputs: Vec<LinkInput> = artifacts
             .iter()
             .map(|a| LinkInput::new(a.object.clone(), a.debug_layout.clone()))
             .collect();
-        let codegen_phase = self
-            .executor
-            .run_phase_traced(&actions, &self.tel, span_id)?;
+        let (codegen_phase, res) =
+            self.executor
+                .run_phase_resilient_traced(&actions, &self.tel, span_id)?;
+        self.absorb_resilience(res);
         let bin = link_traced(
             &inputs,
             &LinkOptions {
@@ -555,7 +737,7 @@ impl Propeller {
             &self.tel,
             span_id,
         )?;
-        let link_phase = self.executor.run_phase_traced(
+        let (link_phase, res) = self.executor.run_phase_resilient_traced(
             &[ActionSpec::new(
                 "relink app.propeller",
                 self.opts.cost.link_secs(bin.stats.input_bytes),
@@ -564,6 +746,7 @@ impl Propeller {
             &self.tel,
             span_id,
         )?;
+        self.absorb_resilience(res);
         self.times.phase4 = codegen_phase.then(&link_phase);
         span.set_sim_secs(self.times.phase4.wall_secs);
         span.set_peak_bytes(self.times.phase4.max_action_memory);
@@ -582,14 +765,27 @@ impl Propeller {
         self.phase2_build_metadata()?;
         self.phase3_profile_and_analyze()?;
         self.phase4_relink()?;
-        let wpa = self.wpa_output.as_ref().expect("phase 3 ran");
-        let po = self.po_binary.as_ref().expect("phase 4 ran");
+        // The phases above just ran, so these artifacts exist; stay
+        // typed rather than panicking if that invariant ever breaks.
+        let wpa = self
+            .wpa_output
+            .as_ref()
+            .ok_or(PipelineError::PhaseOrder { needs: "phase 3" })?;
+        let po = self
+            .po_binary
+            .as_ref()
+            .ok_or(PipelineError::PhaseOrder { needs: "phase 4" })?;
         // Counters merge by addition, so cache statistics are recorded
         // exactly once per run, not per lookup.
         self.caches.ir_stats().record_metrics(&self.tel, "cache.ir");
         self.caches
             .object_stats()
             .record_metrics(&self.tel, "cache.obj");
+        // A clean ledger records nothing, keeping zero-fault traces
+        // identical to pre-fault-layer output.
+        if !self.ledger.is_clean() {
+            self.ledger.record_metrics(&self.tel, "faults");
+        }
         Ok(PropellerReport {
             times: self.times,
             ir_cache: self.caches.ir_stats(),
@@ -600,6 +796,7 @@ impl Propeller {
             deleted_jumps: po.stats.deleted_jumps,
             shrunk_branches: po.stats.shrunk_branches,
             optimized_binary_name: po.name.clone(),
+            degradation: self.ledger.clone(),
         })
     }
 
@@ -650,11 +847,12 @@ impl Propeller {
             return Err(PipelineError::PhaseOrder { needs: "phase 4" });
         };
         let workload = self.workload(block_budget);
-        let base_img = ProgramImage::build(&self.program, &baseline.layout)
-            .map_err(|e| PipelineError::Image(e.to_string()))?;
-        let opt_program = self.phase4_program.clone().expect("phase 4 ran");
-        let opt_img = ProgramImage::build(&opt_program, &po.layout)
-            .map_err(|e| PipelineError::Image(e.to_string()))?;
+        let base_img = ProgramImage::build(&self.program, &baseline.layout)?;
+        let opt_program = self
+            .phase4_program
+            .clone()
+            .ok_or(PipelineError::PhaseOrder { needs: "phase 4" })?;
+        let opt_img = ProgramImage::build(&opt_program, &po.layout)?;
         let span = self.tel.span("evaluate");
         let span_id = span.id();
         let base = simulate_traced(

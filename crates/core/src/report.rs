@@ -1,6 +1,7 @@
 //! Pipeline reports.
 
 use propeller_buildsys::{CacheStats, PhaseReport};
+use propeller_faults::DegradationLedger;
 use propeller_sim::CounterSet;
 use propeller_wpa::WpaStats;
 
@@ -48,6 +49,10 @@ pub struct PropellerReport {
     pub shrunk_branches: u64,
     /// Name of the optimized output.
     pub optimized_binary_name: String,
+    /// Exact account of every degradation the run performed — clean
+    /// (all-zero, optimized layout) unless the configured fault plan
+    /// actually fired.
+    pub degradation: DegradationLedger,
 }
 
 /// Baseline-vs-optimized measurement from the simulator.

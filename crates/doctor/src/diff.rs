@@ -6,6 +6,14 @@
 //! bad direction beyond the tolerance is a regression. Wall times and
 //! layout changes are reported but never fail the gate — layouts are
 //! *expected* to change when the optimizer improves.
+//!
+//! Fault plans partition the gate. When both reports ran under the
+//! *same* plan, their degradation ledgers gate lower-better: more
+//! retries / fallbacks / dropped records at equal injected faults is a
+//! resilience regression. When the plans differ, the runs are not
+//! comparable — a candidate run under chaos is *supposed* to degrade —
+//! so every delta (metrics and ledger alike) is reported
+//! informationally and nothing fails the gate.
 
 use crate::report::RunReport;
 use propeller_wpa::FunctionProvenance;
@@ -94,6 +102,13 @@ pub struct DiffReport {
     pub wall_deltas: Vec<MetricDelta>,
     /// Structural layout differences (never gate).
     pub layout_changes: Vec<LayoutChange>,
+    /// Changed degradation-ledger entries: lower-better when the two
+    /// reports ran under the same fault plan, informational otherwise.
+    pub degradation_deltas: Vec<MetricDelta>,
+    /// Fault plan of the baseline report (empty when fault-free).
+    pub plan_a: String,
+    /// Fault plan of the candidate report (empty when fault-free).
+    pub plan_b: String,
     /// The tolerance the diff was computed at, in percent.
     pub tolerance_pct: f64,
 }
@@ -107,12 +122,23 @@ impl DiffReport {
             && self.only_in_b.is_empty()
             && self.wall_deltas.is_empty()
             && self.layout_changes.is_empty()
+            && self.degradation_deltas.is_empty()
+            && !self.plans_differ()
+    }
+
+    /// True when the two reports ran under different fault plans — in
+    /// which case all gating was suspended.
+    pub fn plans_differ(&self) -> bool {
+        self.plan_a != self.plan_b
     }
 
     /// True when any gated metric moved in the bad direction beyond the
     /// tolerance.
     pub fn has_regression(&self) -> bool {
-        self.deltas.iter().any(|d| d.regression)
+        self.deltas
+            .iter()
+            .chain(&self.degradation_deltas)
+            .any(|d| d.regression)
     }
 
     /// Renders the diff for terminal output.
@@ -121,6 +147,16 @@ impl DiffReport {
             return "reports are identical\n".to_string();
         }
         let mut out = String::new();
+        if self.plans_differ() {
+            let show = |p: &str| if p.is_empty() { "<none>".to_string() } else { p.to_string() };
+            let _ = writeln!(
+                out,
+                "  fault plans differ (baseline: {}, candidate: {}) — runs are \
+                 not comparable, all regression gating suspended",
+                show(&self.plan_a),
+                show(&self.plan_b)
+            );
+        }
         for d in &self.deltas {
             let _ = writeln!(
                 out,
@@ -145,13 +181,31 @@ impl DiffReport {
                 d.key, d.a, d.b, d.delta_pct
             );
         }
+        for d in &self.degradation_deltas {
+            let _ = writeln!(
+                out,
+                "  degradation.{:<18} {:>12.4} -> {:>12.4} ({:+.2}%){}",
+                d.key,
+                d.a,
+                d.b,
+                d.delta_pct,
+                if d.regression {
+                    "  REGRESSION"
+                } else if self.plans_differ() {
+                    "  [not gated: plans differ]"
+                } else {
+                    ""
+                }
+            );
+        }
         for c in &self.layout_changes {
             let _ = writeln!(out, "  layout {:<23} {}", c.func_symbol, c.what);
         }
         let _ = writeln!(
             out,
-            "{} metric change(s), {} layout change(s), tolerance {}%: {}",
+            "{} metric change(s), {} degradation change(s), {} layout change(s), tolerance {}%: {}",
             self.deltas.len(),
+            self.degradation_deltas.len(),
             self.layout_changes.len(),
             self.tolerance_pct,
             if self.has_regression() {
@@ -282,12 +336,49 @@ fn diff_layouts(a: &[FunctionProvenance], b: &[FunctionProvenance]) -> Vec<Layou
     changes
 }
 
+/// Degradation-ledger deltas. Both ledgers enumerate the same entry
+/// names in the same fixed order, so a zip pairs them exactly. Every
+/// ledger entry is lower-better — more degradation at the same injected
+/// faults means resilience got worse — but only gates when the plans
+/// were equal.
+fn diff_degradation(a: &RunReport, b: &RunReport, tolerance_pct: f64) -> Vec<MetricDelta> {
+    let gated = a.fault_plan == b.fault_plan;
+    let mut deltas = Vec::new();
+    for ((k, va), (_, vb)) in a
+        .degradation
+        .entries()
+        .into_iter()
+        .zip(b.degradation.entries())
+    {
+        if va == vb {
+            continue;
+        }
+        let delta_pct = relative_delta_pct(va, vb);
+        deltas.push(MetricDelta {
+            key: k.to_string(),
+            a: va,
+            b: vb,
+            delta_pct,
+            direction: if gated {
+                Direction::LowerBetter
+            } else {
+                Direction::Informational
+            },
+            regression: gated && vb > va && delta_pct > tolerance_pct,
+        });
+    }
+    deltas
+}
+
 /// Diffs candidate report `b` against baseline report `a` at the given
 /// tolerance (percent). Gated metrics moving in their bad direction by
-/// more than `tolerance_pct` mark the diff as a regression.
+/// more than `tolerance_pct` mark the diff as a regression. When the
+/// reports ran under different fault plans nothing gates (see the
+/// module docs).
 pub fn diff_reports(a: &RunReport, b: &RunReport, tolerance_pct: f64) -> DiffReport {
+    let comparable = a.fault_plan == b.fault_plan;
     let (deltas, only_in_a, only_in_b) =
-        diff_metric_maps(&a.metrics, &b.metrics, tolerance_pct, true);
+        diff_metric_maps(&a.metrics, &b.metrics, tolerance_pct, comparable);
     let (wall_deltas, wall_only_a, wall_only_b) =
         diff_metric_maps(&a.wall, &b.wall, tolerance_pct, false);
     let mut only_in_a = only_in_a;
@@ -300,6 +391,9 @@ pub fn diff_reports(a: &RunReport, b: &RunReport, tolerance_pct: f64) -> DiffRep
         only_in_b,
         wall_deltas,
         layout_changes: diff_layouts(&a.layout.functions, &b.layout.functions),
+        degradation_deltas: diff_degradation(a, b, tolerance_pct),
+        plan_a: a.fault_plan.clone(),
+        plan_b: b.fault_plan.clone(),
         tolerance_pct,
     }
 }
@@ -427,6 +521,56 @@ mod tests {
         });
         let d2 = diff_reports(&a, &c, 0.0);
         assert_eq!(d2.layout_changes.len(), 2, "f dropped, g added");
+    }
+
+    #[test]
+    fn degradation_growth_at_equal_plans_regresses() {
+        let plan = "transient=0.5";
+        let mut a = report_with(&[]);
+        a.fault_plan = plan.into();
+        a.degradation.action_retries = 2;
+        let mut b = report_with(&[]);
+        b.fault_plan = plan.into();
+        b.degradation.action_retries = 7;
+        let d = diff_reports(&a, &b, 0.0);
+        assert!(d.has_regression());
+        assert_eq!(d.degradation_deltas.len(), 1);
+        assert_eq!(d.degradation_deltas[0].direction, Direction::LowerBetter);
+        assert!(d.render().contains("REGRESSION"));
+        // Shrinking degradation at the same plan is an improvement.
+        assert!(!diff_reports(&b, &a, 0.0).has_regression());
+    }
+
+    #[test]
+    fn differing_plans_suspend_all_gating() {
+        // Candidate ran under chaos: its degradation AND its worse
+        // metrics are intentional, not regressions.
+        let mut a = report_with(&[("eval.speedup_pct", 10.0)]);
+        a.fault_plan = String::new();
+        let mut b = report_with(&[("eval.speedup_pct", 2.0)]);
+        b.fault_plan = "corrupt-lbr=1".into();
+        b.degradation.lbr_records_dropped = 500;
+        b.degradation.layout_mode = propeller_faults::LayoutMode::IdentityFallback;
+        let d = diff_reports(&a, &b, 0.0);
+        assert!(d.plans_differ());
+        assert!(!d.has_regression());
+        assert!(d.deltas.iter().all(|m| m.direction == Direction::Informational));
+        assert!(d
+            .degradation_deltas
+            .iter()
+            .all(|m| m.direction == Direction::Informational));
+        assert!(d.render().contains("gating suspended"));
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn self_diff_of_degraded_report_is_empty() {
+        let mut r = report_with(&[("eval.speedup_pct", 5.0)]);
+        r.fault_plan = "transient=1:3".into();
+        r.degradation.action_retries = 3;
+        let d = diff_reports(&r, &r, 0.0);
+        assert!(d.is_empty());
+        assert!(!d.has_regression());
     }
 
     #[test]

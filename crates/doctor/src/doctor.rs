@@ -1,7 +1,9 @@
 //! Turning a [`ProfileAudit`] into a human-readable verdict with
-//! WARN/FAIL thresholds.
+//! WARN/FAIL thresholds, plus the degradation section: what the run
+//! gave up to survive injected faults.
 
 use crate::audit::ProfileAudit;
+use propeller_faults::{DegradationLedger, LayoutMode};
 use std::fmt::Write as _;
 
 /// How bad a finding is.
@@ -185,6 +187,67 @@ pub fn diagnose(audit: &ProfileAudit, cfg: &DoctorConfig) -> Vec<Finding> {
     out
 }
 
+/// What a nonzero ledger entry means, in doctor-report prose.
+fn degradation_message(name: &str) -> &'static str {
+    match name {
+        "action_retries" => "build actions retried after transient failures",
+        "action_timeouts" => "build actions hung, timed out, and were rescheduled",
+        "retry_backoff_secs" => "modeled seconds spent waiting in retry backoff",
+        "cache_corruptions" => "cache entries failed digest verification and were invalidated",
+        "cache_evictions" => "cache entries evicted from under the pipeline",
+        "cache_rebuilds" => "artifacts rebuilt after cache corruption or eviction",
+        "lbr_records_corrupted" => "LBR records corrupted in the raw profile",
+        "lbr_records_dropped" => "out-of-range LBR records dropped by salvage",
+        "lbr_samples_truncated" => "profile samples truncated mid-capture",
+        "lbr_records_truncated" => "LBR records lost to sample truncation",
+        "functions_marked_cold" => "hot functions demoted to cold after profile loss",
+        "objects_fallen_back" => "hot objects shipped from cached baseline codegen",
+        _ => "degradation recorded under fault injection",
+    }
+}
+
+/// The degradation section of the doctor report: one finding per
+/// nonzero [`DegradationLedger`] entry.
+///
+/// Degradation is never [`Severity::Fail`] — the whole point of the
+/// graceful-degradation design is that the output binary stays correct;
+/// what suffers is layout quality and modeled build time. A clean
+/// ledger yields a single OK finding so the section always renders.
+pub fn degradation_findings(ledger: &DegradationLedger) -> Vec<Finding> {
+    if ledger.is_clean() {
+        return vec![Finding {
+            severity: Severity::Ok,
+            metric: "faults.none".into(),
+            value: 0.0,
+            message: "no degradation recorded; the run was fault-free".into(),
+        }];
+    }
+    let mut out = Vec::new();
+    for (name, v) in ledger.entries() {
+        // The layout mode gets its own dedicated finding below.
+        if name == "layout_identity_fallback" || v == 0.0 {
+            continue;
+        }
+        out.push(Finding {
+            severity: Severity::Warn,
+            metric: format!("faults.{name}"),
+            value: v,
+            message: degradation_message(name).into(),
+        });
+    }
+    if ledger.layout_mode == LayoutMode::IdentityFallback {
+        out.push(Finding {
+            severity: Severity::Warn,
+            metric: "faults.layout_identity_fallback".into(),
+            value: 1.0,
+            message: "salvaged profile fell below the coverage floor; shipped the \
+                      baseline-identical identity layout"
+                .into(),
+        });
+    }
+    out
+}
+
 /// The worst severity across findings ([`Severity::Ok`] when empty).
 pub fn worst(findings: &[Finding]) -> Severity {
     findings
@@ -272,6 +335,32 @@ mod tests {
         let mut b = healthy();
         b.unmapped_rate = 0.2;
         assert_eq!(worst(&diagnose(&b, &cfg)), Severity::Fail);
+    }
+
+    #[test]
+    fn clean_ledger_yields_single_ok_finding() {
+        let f = degradation_findings(&DegradationLedger::default());
+        assert_eq!(f.len(), 1);
+        assert_eq!(worst(&f), Severity::Ok);
+        assert!(f[0].message.contains("fault-free"));
+    }
+
+    #[test]
+    fn degradation_warns_but_never_fails() {
+        let l = DegradationLedger {
+            action_retries: 3,
+            cache_corruptions: 1,
+            cache_rebuilds: 1,
+            layout_mode: LayoutMode::IdentityFallback,
+            ..DegradationLedger::default()
+        };
+        let f = degradation_findings(&l);
+        // 3 nonzero counters + the layout-mode finding.
+        assert_eq!(f.len(), 4);
+        assert_eq!(worst(&f), Severity::Warn);
+        assert!(f.iter().all(|f| f.severity != Severity::Fail));
+        assert!(f.iter().any(|f| f.metric == "faults.layout_identity_fallback"));
+        assert!(render(&f).contains("identity layout"));
     }
 
     #[test]

@@ -31,5 +31,7 @@ pub use audit::{
     ProfileAudit,
 };
 pub use diff::{diff_reports, direction_of, DiffReport, Direction, LayoutChange, MetricDelta};
-pub use doctor::{diagnose, render, worst, DoctorConfig, Finding, Severity};
+pub use doctor::{
+    degradation_findings, diagnose, render, worst, DoctorConfig, Finding, Severity,
+};
 pub use report::RunReport;

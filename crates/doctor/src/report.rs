@@ -10,6 +10,7 @@
 
 use crate::audit::ProfileAudit;
 use propeller::{EvalReport, Propeller, PropellerReport};
+use propeller_faults::DegradationLedger;
 use propeller_telemetry::{JsonValue, MetricsSnapshot};
 use propeller_wpa::{ClusterProvenance, FunctionProvenance, LayoutProvenance};
 use std::collections::BTreeMap;
@@ -29,6 +30,13 @@ pub struct RunReport {
     pub wall: BTreeMap<String, f64>,
     /// Per-hot-function layout decisions.
     pub layout: LayoutProvenance,
+    /// Canonical fault-plan spec string the run executed under (empty
+    /// when no faults were scheduled). Two reports are only
+    /// gate-comparable on degradation at equal plans.
+    pub fault_plan: String,
+    /// Exact account of every degradation the run performed under
+    /// fault injection (all-zero on clean runs).
+    pub degradation: DegradationLedger,
     /// Embedded metrics-registry snapshot, when telemetry was on.
     pub telemetry: Option<MetricsSnapshot>,
 }
@@ -134,6 +142,8 @@ impl RunReport {
                 .wpa_output()
                 .map(|w| w.provenance.clone())
                 .unwrap_or_default(),
+            fault_plan: pipeline.options().faults.to_spec_string(),
+            degradation: summary.degradation.clone(),
             telemetry,
         }
     }
@@ -164,6 +174,27 @@ impl RunReport {
                 ),
             ),
         ];
+        // Omitted when empty/clean so fault-free runs serialize
+        // bit-identically to reports written before the fault layer
+        // existed (the bench-gate baseline relies on this).
+        if !self.fault_plan.is_empty() {
+            members.push((
+                "fault_plan".to_string(),
+                JsonValue::Str(self.fault_plan.clone()),
+            ));
+        }
+        if !self.degradation.is_clean() {
+            members.push((
+                "degradation".to_string(),
+                JsonValue::Obj(
+                    self.degradation
+                        .entries()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), JsonValue::Num(v)))
+                        .collect(),
+                ),
+            ));
+        }
         if let Some(tel) = &self.telemetry {
             members.push(("telemetry".to_string(), tel.to_json()));
         }
@@ -216,6 +247,27 @@ impl RunReport {
         {
             layout.functions.push(function_from_json(f)?);
         }
+        // Both fault members are optional: reports from clean runs
+        // (and all pre-fault-layer baselines) simply lack them.
+        let fault_plan = v
+            .get("fault_plan")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_string();
+        let degradation = match v.get("degradation").and_then(JsonValue::as_obj) {
+            Some(obj) => {
+                let mut pairs = Vec::new();
+                for (k, val) in obj {
+                    pairs.push((
+                        k.as_str(),
+                        val.as_f64()
+                            .ok_or_else(|| format!("`degradation.{k}` not a number"))?,
+                    ));
+                }
+                DegradationLedger::from_entries(pairs)
+            }
+            None => DegradationLedger::default(),
+        };
         let telemetry = match v.get("telemetry") {
             Some(t) => {
                 Some(MetricsSnapshot::from_json(t).ok_or("malformed `telemetry`")?)
@@ -229,6 +281,8 @@ impl RunReport {
             metrics: num_map("metrics")?,
             wall: num_map("wall")?,
             layout,
+            fault_plan,
+            degradation,
             telemetry,
         })
     }
@@ -428,6 +482,34 @@ mod tests {
         let back = RunReport::parse(&r.to_json_string()).unwrap();
         assert_eq!(back, r);
         assert_eq!(back.telemetry.unwrap().counter("mapper.unmapped_addrs"), 9);
+    }
+
+    #[test]
+    fn round_trips_fault_plan_and_degradation() {
+        let mut r = sample_report();
+        r.fault_plan = "transient=0.5,corrupt-cache=1:2".into();
+        r.degradation.action_retries = 4;
+        r.degradation.retry_backoff_secs = 3.25;
+        r.degradation.layout_mode = propeller_faults::LayoutMode::IdentityFallback;
+        let json = r.to_json_string();
+        assert!(json.contains("fault_plan"));
+        assert!(json.contains("action_retries"));
+        let back = RunReport::parse(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn clean_reports_omit_fault_members() {
+        // Bit-identity with pre-fault-layer baselines: a clean run's
+        // JSON must not even mention the fault machinery, and parsing
+        // such a document yields empty plan + clean ledger.
+        let r = sample_report();
+        let json = r.to_json_string();
+        assert!(!json.contains("fault_plan"));
+        assert!(!json.contains("degradation"));
+        let back = RunReport::parse(&json).unwrap();
+        assert!(back.fault_plan.is_empty());
+        assert!(back.degradation.is_clean());
     }
 
     #[test]

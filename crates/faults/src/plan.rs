@@ -1,0 +1,288 @@
+//! Fault plans: *what* can go wrong, how often, and how many times.
+//!
+//! A [`FaultPlan`] is a static schedule of failure probabilities (with
+//! optional occurrence caps) for every fault site the pipeline knows
+//! how to survive. Plans are plain data: they can be parsed from the
+//! CLI `--faults` spec string, compared for equality (the doctor diff
+//! gate only compares degradation between runs at *equal* plans), and
+//! round-tripped through a canonical spec string for reports.
+
+use std::fmt;
+
+/// Every distinct failure mode the injector can schedule.
+///
+/// The variants map one-to-one onto the degradation paths of the
+/// pipeline: the executor retries transient failures and timeouts, the
+/// action cache invalidates corrupt or evicted entries, phase 3
+/// salvages corrupt/truncated LBR data, and phase 4 falls back to the
+/// baseline codegen when a hot object permanently fails to rebuild.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A distributed action fails but would succeed if rescheduled.
+    TransientActionFailure,
+    /// A distributed action hangs until the retry policy's deadline.
+    ActionTimeout,
+    /// A cache entry's stored content digest no longer matches its key.
+    CacheCorruption,
+    /// A cache entry silently disappears before lookup.
+    CacheEviction,
+    /// An LBR record's addresses are garbage (point outside .text).
+    LbrRecordCorruption,
+    /// An LBR sample loses the tail of its record stack.
+    SampleTruncation,
+    /// Hot-object re-codegen fails on every attempt; no retry helps.
+    PermanentCodegenFailure,
+}
+
+impl FaultKind {
+    /// All kinds in canonical (spec-string) order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::TransientActionFailure,
+        FaultKind::ActionTimeout,
+        FaultKind::CacheCorruption,
+        FaultKind::CacheEviction,
+        FaultKind::LbrRecordCorruption,
+        FaultKind::SampleTruncation,
+        FaultKind::PermanentCodegenFailure,
+    ];
+
+    /// The `--faults` spec key for this kind.
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultKind::TransientActionFailure => "transient",
+            FaultKind::ActionTimeout => "timeout",
+            FaultKind::CacheCorruption => "corrupt-cache",
+            FaultKind::CacheEviction => "evict-cache",
+            FaultKind::LbrRecordCorruption => "corrupt-lbr",
+            FaultKind::SampleTruncation => "truncate-samples",
+            FaultKind::PermanentCodegenFailure => "permanent-codegen",
+        }
+    }
+
+    fn from_key(key: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.key() == key)
+    }
+}
+
+/// Probability (+ optional occurrence cap) for one [`FaultKind`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Chance in `[0, 1]` that any given roll at this site fires.
+    pub probability: f64,
+    /// Stop firing after this many occurrences (`None` = unbounded).
+    pub limit: Option<u64>,
+}
+
+impl FaultSpec {
+    /// A site that never fires.
+    pub const fn never() -> FaultSpec {
+        FaultSpec { probability: 0.0, limit: None }
+    }
+
+    /// Fire on every roll (until `limit`, if any).
+    pub const fn always() -> FaultSpec {
+        FaultSpec { probability: 1.0, limit: None }
+    }
+
+    /// Fire with probability `p`, unbounded.
+    pub const fn p(probability: f64) -> FaultSpec {
+        FaultSpec { probability, limit: None }
+    }
+
+    /// Fire with probability `p`, at most `n` times total.
+    pub const fn count(probability: f64, n: u64) -> FaultSpec {
+        FaultSpec { probability, limit: Some(n) }
+    }
+
+    /// True when this spec can never fire.
+    pub fn is_disabled(&self) -> bool {
+        self.probability <= 0.0 || self.limit == Some(0)
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::never()
+    }
+}
+
+/// The full fault schedule for one pipeline run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    pub transient_action_failure: FaultSpec,
+    pub action_timeout: FaultSpec,
+    pub cache_corruption: FaultSpec,
+    pub cache_eviction: FaultSpec,
+    pub lbr_record_corruption: FaultSpec,
+    pub sample_truncation: FaultSpec,
+    pub permanent_codegen_failure: FaultSpec,
+}
+
+impl FaultPlan {
+    /// A plan with every fault disabled (the default).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when no fault in the plan can ever fire. The pipeline
+    /// takes the exact legacy code path in this case, so zero-fault
+    /// runs stay bit-identical to runs without a fault layer at all.
+    pub fn is_none(&self) -> bool {
+        FaultKind::ALL.iter().all(|&k| self.spec(k).is_disabled())
+    }
+
+    /// The spec scheduled for `kind`.
+    pub fn spec(&self, kind: FaultKind) -> FaultSpec {
+        match kind {
+            FaultKind::TransientActionFailure => self.transient_action_failure,
+            FaultKind::ActionTimeout => self.action_timeout,
+            FaultKind::CacheCorruption => self.cache_corruption,
+            FaultKind::CacheEviction => self.cache_eviction,
+            FaultKind::LbrRecordCorruption => self.lbr_record_corruption,
+            FaultKind::SampleTruncation => self.sample_truncation,
+            FaultKind::PermanentCodegenFailure => self.permanent_codegen_failure,
+        }
+    }
+
+    fn spec_mut(&mut self, kind: FaultKind) -> &mut FaultSpec {
+        match kind {
+            FaultKind::TransientActionFailure => &mut self.transient_action_failure,
+            FaultKind::ActionTimeout => &mut self.action_timeout,
+            FaultKind::CacheCorruption => &mut self.cache_corruption,
+            FaultKind::CacheEviction => &mut self.cache_eviction,
+            FaultKind::LbrRecordCorruption => &mut self.lbr_record_corruption,
+            FaultKind::SampleTruncation => &mut self.sample_truncation,
+            FaultKind::PermanentCodegenFailure => &mut self.permanent_codegen_failure,
+        }
+    }
+
+    /// A plan that destroys the entire profile: every LBR record is
+    /// corrupted, so phase 3 salvages nothing and the layout falls
+    /// back to identity order.
+    pub fn full_profile_loss() -> FaultPlan {
+        FaultPlan { lbr_record_corruption: FaultSpec::always(), ..FaultPlan::default() }
+    }
+
+    /// Parse a `--faults` spec string.
+    ///
+    /// Grammar: comma-separated `key=probability[:limit]` clauses,
+    /// e.g. `transient=0.3,corrupt-cache=0.1:2,permanent-codegen=1`.
+    /// Keys are the [`FaultKind::key`] names; probabilities must lie
+    /// in `[0, 1]`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultPlanParseError> {
+        let mut plan = FaultPlan::none();
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (key, value) = clause.split_once('=').ok_or_else(|| FaultPlanParseError {
+                clause: clause.to_string(),
+                message: "expected key=probability[:limit]".to_string(),
+            })?;
+            let kind = FaultKind::from_key(key.trim()).ok_or_else(|| FaultPlanParseError {
+                clause: clause.to_string(),
+                message: format!(
+                    "unknown fault kind {:?} (known: {})",
+                    key.trim(),
+                    FaultKind::ALL.map(|k| k.key()).join(", ")
+                ),
+            })?;
+            let (prob_str, limit_str) = match value.split_once(':') {
+                Some((p, l)) => (p, Some(l)),
+                None => (value, None),
+            };
+            let probability: f64 =
+                prob_str.trim().parse().map_err(|_| FaultPlanParseError {
+                    clause: clause.to_string(),
+                    message: format!("bad probability {:?}", prob_str.trim()),
+                })?;
+            if !(0.0..=1.0).contains(&probability) {
+                return Err(FaultPlanParseError {
+                    clause: clause.to_string(),
+                    message: format!("probability {probability} outside [0, 1]"),
+                });
+            }
+            let limit = match limit_str {
+                Some(l) => Some(l.trim().parse().map_err(|_| FaultPlanParseError {
+                    clause: clause.to_string(),
+                    message: format!("bad occurrence limit {:?}", l.trim()),
+                })?),
+                None => None,
+            };
+            *plan.spec_mut(kind) = FaultSpec { probability, limit };
+        }
+        Ok(plan)
+    }
+
+    /// Canonical spec string: enabled kinds in [`FaultKind::ALL`]
+    /// order. Parsing the result reproduces the plan exactly, and two
+    /// plans are equal iff their canonical strings are equal, so this
+    /// is what reports embed for the diff gate's plan comparison.
+    pub fn to_spec_string(&self) -> String {
+        let mut parts = Vec::new();
+        for &kind in &FaultKind::ALL {
+            let spec = self.spec(kind);
+            if spec.is_disabled() {
+                continue;
+            }
+            match spec.limit {
+                Some(n) => parts.push(format!("{}={}:{}", kind.key(), spec.probability, n)),
+                None => parts.push(format!("{}={}", kind.key(), spec.probability)),
+            }
+        }
+        parts.join(",")
+    }
+}
+
+/// A clause of a `--faults` spec string that failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlanParseError {
+    pub clause: String,
+    pub message: String,
+}
+
+impl fmt::Display for FaultPlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault clause {:?}: {}", self.clause, self.message)
+    }
+}
+
+impl std::error::Error for FaultPlanParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!(FaultPlan::parse("").unwrap().is_none());
+        assert_eq!(FaultPlan::none().to_spec_string(), "");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let spec = "transient=0.3,corrupt-cache=0.1:2,permanent-codegen=1";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.transient_action_failure, FaultSpec::p(0.3));
+        assert_eq!(plan.cache_corruption, FaultSpec::count(0.1, 2));
+        assert_eq!(plan.permanent_codegen_failure, FaultSpec::always());
+        let canonical = plan.to_spec_string();
+        assert_eq!(FaultPlan::parse(&canonical).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("transient").is_err());
+        assert!(FaultPlan::parse("warp-core=0.5").is_err());
+        assert!(FaultPlan::parse("transient=1.5").is_err());
+        assert!(FaultPlan::parse("transient=0.5:x").is_err());
+    }
+
+    #[test]
+    fn zero_probability_clause_keeps_plan_none() {
+        let plan = FaultPlan::parse("transient=0,timeout=0.5:0").unwrap();
+        assert!(plan.is_none());
+    }
+}

@@ -11,6 +11,8 @@
 
 mod agg;
 mod lbr;
+mod salvage;
 
 pub use agg::AggregatedProfile;
 pub use lbr::{HardwareProfile, LbrRecord, LbrSample, SamplingConfig, LBR_DEPTH};
+pub use salvage::{degrade_profile, salvage_profile, SalvageStats};

@@ -100,6 +100,28 @@ pub struct WpaOutput {
     pub provenance: LayoutProvenance,
 }
 
+impl WpaOutput {
+    /// The identity-layout fallback: no cluster directives and an
+    /// empty symbol order, so Phase 4 emits every function exactly as
+    /// the metadata build did and the relink keeps input section
+    /// order. This is the degradation target when the profile that
+    /// survived salvage is too thin to trust ("WPA input unusable"):
+    /// the result is always a correct, baseline-equivalent binary.
+    ///
+    /// `stats` should carry the analysis counts actually observed
+    /// (profile bytes read, DCFG edges, …) so build-time accounting
+    /// still reflects the work done, but the hot classification is
+    /// zeroed — nothing is hot when the layout is discarded.
+    pub fn identity_fallback(stats: WpaStats) -> WpaOutput {
+        WpaOutput {
+            cluster_map: ClusterMap::new(),
+            symbol_order: SymbolOrdering::default(),
+            stats: WpaStats { hot_functions: 0, hot_blocks: 0, ..stats },
+            provenance: LayoutProvenance::default(),
+        }
+    }
+}
+
 /// One planned cluster, before serialization into the outputs.
 struct PlannedCluster {
     symbol: String,
