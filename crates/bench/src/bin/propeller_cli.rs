@@ -6,6 +6,7 @@
 //!
 //! propeller_cli run <benchmark> [--scale S] [--seed N] [--out DIR]
 //!                   [--trace-out FILE] [--faults SPEC]
+//!                   [--flamegraph-out FILE] [--heatmap-out FILE]
 //!     Generate the benchmark, run the 4-phase pipeline, evaluate
 //!     against the baseline, and (with --out) write cc_prof.txt and
 //!     ld_prof.txt — the two artifacts of Figure 1 — plus
@@ -18,6 +19,34 @@
 //!     comma-separated `kind=probability[:limit]`, e.g.
 //!     `transient=0.5,corrupt-cache=1:2`) seeded by --seed, and print
 //!     the degradation ledger the run accumulated surviving them.
+//!     --flamegraph-out collects symbol attribution during the Phase 3
+//!     profiling run and writes its cycle-weighted call stacks in
+//!     Brendan Gregg's folded format (pipe into flamegraph.pl); it
+//!     also embeds the per-symbol attribution table in
+//!     run_report.json. --heatmap-out writes the Phase 3 code-access
+//!     heat map (Figure 7) as CSV, or as a PGM grayscale image when
+//!     FILE ends in `.pgm`.
+//!
+//! propeller_cli perf-report <benchmark> [--scale S] [--seed N]
+//!                           [--top N] [--event E] [--out FILE]
+//!                           [--flamegraph-out FILE]
+//!     Simulate the baseline, Propeller, and (when it runs) BOLT
+//!     binaries on the identical evaluation workload with symbol
+//!     attribution on, and print `perf report`-style top-N tables:
+//!     per-symbol counts, % of total, and deltas of each variant
+//!     against the baseline. --event restricts to one event (default:
+//!     a key set — cycles, l1i_misses, itlb_misses, baclears,
+//!     dsb_misses); --top sizes the table (default 10). --out writes
+//!     perf_report.json (per-variant attribution rows);
+//!     --flamegraph-out writes the Propeller run's folded stacks.
+//!
+//! propeller_cli annotate <benchmark> <function> [--scale S] [--seed N]
+//!                        [--event E]
+//!     `perf annotate` for one function: walk its blocks in the
+//!     Propeller-optimized layout order with per-block event counts,
+//!     the cluster each block landed in, and the Ext-TSP provenance
+//!     recorded when the layout was planned (--event defaults to
+//!     cycles).
 //!
 //! propeller_cli doctor <benchmark> [--scale S] [--seed N]
 //!                      [--faults SPEC]
@@ -66,9 +95,10 @@ use propeller::{
 };
 use propeller_bench::{run_benchmark, RunConfig};
 use propeller_doctor::{
-    audit_pipeline, degradation_findings, diagnose, diff_reports, DoctorConfig, RunReport,
-    Severity,
+    audit_pipeline, degradation_findings, diagnose, diff_reports, render_annotate,
+    render_perf_report, AttributionSection, DoctorConfig, RunReport, Severity,
 };
+use propeller_sim::{heatmap_csv, heatmap_pgm, AttributedCounters, Event, SimOptions};
 use propeller_synth::{all_specs, generate, spec_by_name, GenParams};
 use propeller_telemetry::{chrome::to_chrome_trace, report::render_text, JsonValue, Telemetry};
 use propeller_wpa::cluster_map_to_text;
@@ -77,9 +107,11 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: propeller_cli <list | run <bench> | doctor <bench> | chaos [bench] | \
-         compare <bench> | diff <A.json> <B.json> | dump <bench> | map <bench>> \
+         compare <bench> | perf-report <bench> | annotate <bench> <function> | \
+         diff <A.json> <B.json> | dump <bench> | map <bench>> \
          [--scale S] [--seed N] [--out PATH] [--trace-out FILE] [--json] \
-         [--tolerance PCT] [--faults SPEC]"
+         [--tolerance PCT] [--faults SPEC] [--top N] [--event E] \
+         [--flamegraph-out FILE] [--heatmap-out FILE]"
     );
     ExitCode::FAILURE
 }
@@ -105,9 +137,13 @@ struct Args {
     trace_out: Option<String>,
     json: bool,
     faults: Option<String>,
+    flamegraph_out: Option<String>,
+    heatmap_out: Option<String>,
+    top: usize,
+    event: Option<String>,
 }
 
-fn parse_args(mut rest: std::env::Args) -> Option<Args> {
+fn parse_args(mut rest: impl Iterator<Item = String>) -> Option<Args> {
     let benchmark = rest.next()?;
     let mut args = Args {
         benchmark,
@@ -117,6 +153,10 @@ fn parse_args(mut rest: std::env::Args) -> Option<Args> {
         trace_out: None,
         json: false,
         faults: None,
+        flamegraph_out: None,
+        heatmap_out: None,
+        top: 10,
+        event: None,
     };
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -126,10 +166,27 @@ fn parse_args(mut rest: std::env::Args) -> Option<Args> {
             "--trace-out" => args.trace_out = Some(rest.next()?),
             "--json" => args.json = true,
             "--faults" => args.faults = Some(rest.next()?),
+            "--flamegraph-out" => args.flamegraph_out = Some(rest.next()?),
+            "--heatmap-out" => args.heatmap_out = Some(rest.next()?),
+            "--top" => args.top = rest.next()?.parse().ok()?,
+            "--event" => args.event = Some(rest.next()?),
             _ => return None,
         }
     }
     Some(args)
+}
+
+/// Resolves `--event` (or the `default` when absent); prints the
+/// valid names on a bad value.
+fn event_for(args: &Args, default: Event) -> Result<Event, ExitCode> {
+    match &args.event {
+        None => Ok(default),
+        Some(name) => Event::from_name(name).ok_or_else(|| {
+            let names: Vec<&str> = Event::ALL.iter().map(|e| e.name()).collect();
+            eprintln!("unknown event {name:?} (one of: {})", names.join(", "));
+            ExitCode::FAILURE
+        }),
+    }
 }
 
 /// Pipeline options for a CLI invocation: the default options, plus
@@ -404,10 +461,19 @@ fn main() -> ExitCode {
                 },
             );
             println!("{}: {}", spec.name, gen.program.stats());
-            let opts = match options_for(&args) {
+            let mut opts = match options_for(&args) {
                 Ok(o) => o,
                 Err(code) => return code,
             };
+            // The export flags arm the matching Phase 3 collectors;
+            // without them the options stay bit-identical to the
+            // defaults, so baseline run_report.json does not change.
+            if args.heatmap_out.is_some() {
+                opts.heatmap = Some((64, 64));
+            }
+            if args.flamegraph_out.is_some() {
+                opts.attribution = true;
+            }
             let mut pipeline = Propeller::new(gen.program, gen.entries, opts);
             // `--out` embeds a metrics snapshot in the RunReport, so
             // telemetry must be live for either output flag.
@@ -445,6 +511,25 @@ fn main() -> ExitCode {
                 eval.baseline.cycles,
                 eval.optimized.cycles
             );
+            if let Some(path) = &args.flamegraph_out {
+                let folded = pipeline.profile_folded().expect("attribution was armed");
+                if let Err(code) =
+                    write_file(std::path::Path::new(path), folded.to_text())
+                {
+                    return code;
+                }
+            }
+            if let Some(path) = &args.heatmap_out {
+                let hm = pipeline.profile_heatmap().expect("heat map was armed");
+                let text = if path.ends_with(".pgm") {
+                    heatmap_pgm(hm)
+                } else {
+                    heatmap_csv(hm)
+                };
+                if let Err(code) = write_file(std::path::Path::new(path), text) {
+                    return code;
+                }
+            }
             let trace = pipeline
                 .telemetry()
                 .is_enabled()
@@ -474,7 +559,7 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                let run_report = RunReport::collect(
+                let mut run_report = RunReport::collect(
                     spec.name,
                     scale,
                     args.seed,
@@ -484,6 +569,12 @@ fn main() -> ExitCode {
                     Some(&audit),
                     trace.map(|t| t.metrics),
                 );
+                // Only set when attribution actually ran, so baseline
+                // reports stay bit-identical.
+                if let Some(attr) = pipeline.profile_attribution() {
+                    run_report.attribution =
+                        Some(AttributionSection::from_attribution(attr, args.top));
+                }
                 for (name, contents) in [
                     ("cc_prof.txt", cc),
                     ("ld_prof.txt", ld),
@@ -641,6 +732,154 @@ fn main() -> ExitCode {
                 (Ok(_), _) => println!("{}: BOLT-optimized binary crashes at startup", a.spec.name),
                 (Err(e), _) => println!("{}: BOLT failed: {e}", a.spec.name),
             }
+            ExitCode::SUCCESS
+        }
+        Some("perf-report") => {
+            let Some(args) = parse_args(argv) else {
+                return usage();
+            };
+            let mut cfg = RunConfig {
+                seed: args.seed,
+                ..RunConfig::default()
+            };
+            if let Some(s) = args.scale {
+                cfg.scale_mult = s; // multiplier on the spec default
+            }
+            let a = run_benchmark(&args.benchmark, &cfg);
+            let opts = SimOptions {
+                attribution: true,
+                ..SimOptions::default()
+            };
+            // The same evaluation workload for every variant, so the
+            // per-symbol deltas decompose the aggregate speedup.
+            let runs: Vec<(&str, propeller_sim::SimReport)> = a
+                .comparable_layouts()
+                .into_iter()
+                .map(|(label, layout)| (label, a.simulate_layout_full(layout, &opts)))
+                .collect();
+            let attrs: Vec<(&str, &AttributedCounters)> = runs
+                .iter()
+                .map(|(l, r)| (*l, r.attribution.as_ref().expect("attribution requested")))
+                .collect();
+            let (base, variants) = attrs.split_first().expect("baseline always simulated");
+            let events = match &args.event {
+                Some(_) => match event_for(&args, Event::Cycles) {
+                    Ok(e) => vec![e],
+                    Err(code) => return code,
+                },
+                None => vec![
+                    Event::Cycles,
+                    Event::L1iMisses,
+                    Event::ItlbMisses,
+                    Event::Baclears,
+                    Event::DsbMisses,
+                ],
+            };
+            println!("{} · scale {:.4} · seed {}", a.spec.name, a.scale, args.seed);
+            for (label, run) in runs.iter().skip(1) {
+                println!(
+                    "{label}: {:+.2}% cycles vs {}",
+                    run.counters.speedup_pct_over(&runs[0].1.counters),
+                    runs[0].0
+                );
+            }
+            for event in events {
+                println!();
+                print!("{}", render_perf_report(event, args.top, *base, variants));
+            }
+            if let Some(path) = &args.out {
+                let variants_json = JsonValue::Obj(
+                    attrs
+                        .iter()
+                        .map(|(l, attr)| {
+                            (
+                                (*l).to_string(),
+                                AttributionSection::from_attribution(attr, args.top)
+                                    .to_json(),
+                            )
+                        })
+                        .collect(),
+                );
+                let doc = JsonValue::Obj(vec![
+                    ("benchmark".to_string(), JsonValue::Str(a.spec.name.to_string())),
+                    ("scale".to_string(), JsonValue::Num(a.scale)),
+                    ("seed".to_string(), JsonValue::Num(args.seed as f64)),
+                    ("top".to_string(), JsonValue::Num(args.top as f64)),
+                    ("variants".to_string(), variants_json),
+                ]);
+                if let Err(code) =
+                    write_file(std::path::Path::new(path), doc.to_string_pretty())
+                {
+                    return code;
+                }
+            }
+            if let Some(path) = &args.flamegraph_out {
+                let folded = runs
+                    .iter()
+                    .find(|(l, _)| *l == "propeller")
+                    .and_then(|(_, r)| r.folded.as_ref())
+                    .expect("the propeller run collected folded stacks");
+                if let Err(code) =
+                    write_file(std::path::Path::new(path), folded.to_text())
+                {
+                    return code;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("annotate") => {
+            let Some(bench) = argv.next().filter(|t| !t.starts_with("--")) else {
+                return usage();
+            };
+            let Some(function) = argv.next().filter(|t| !t.starts_with("--")) else {
+                return usage();
+            };
+            let Some(args) = parse_args(std::iter::once(bench).chain(argv)) else {
+                return usage();
+            };
+            let event = match event_for(&args, Event::Cycles) {
+                Ok(e) => e,
+                Err(code) => return code,
+            };
+            let mut cfg = RunConfig {
+                seed: args.seed,
+                ..RunConfig::default()
+            };
+            if let Some(s) = args.scale {
+                cfg.scale_mult = s; // multiplier on the spec default
+            }
+            let a = run_benchmark(&args.benchmark, &cfg);
+            let opts = SimOptions {
+                attribution: true,
+                ..SimOptions::default()
+            };
+            let layouts = a.comparable_layouts();
+            let (_, prop_layout) = layouts
+                .iter()
+                .find(|(l, _)| *l == "propeller")
+                .expect("propeller layout always present");
+            let run = a.simulate_layout_full(prop_layout, &opts);
+            let attr = run.attribution.as_ref().expect("attribution requested");
+            let Some(sym) = attr.symbol(&function) else {
+                eprintln!(
+                    "function {function:?} retired no events in the {} run",
+                    a.spec.name
+                );
+                let hot = attr.top_by(Event::Cycles, 10);
+                if !hot.is_empty() {
+                    let names: Vec<&str> =
+                        hot.iter().map(|&i| attr.symbols[i].name.as_str()).collect();
+                    eprintln!("hottest symbols: {}", names.join(", "));
+                }
+                return ExitCode::FAILURE;
+            };
+            let wpa = a.pipeline.wpa_output().expect("phase 3 ran");
+            let prov = wpa
+                .provenance
+                .functions
+                .iter()
+                .find(|f| f.func_symbol == function);
+            print!("{}", render_annotate(sym, event, prov));
             ExitCode::SUCCESS
         }
         Some("diff") => {

@@ -128,9 +128,42 @@ impl BenchArtifacts {
                 sampling: None,
                 heatmap,
                 collect_call_misses: false,
+                attribution: false,
             },
         );
         (r.counters, r.heatmap)
+    }
+
+    /// Simulates a layout with caller-chosen collection options and
+    /// returns the full report — attribution tables, folded stacks,
+    /// heat maps, whatever `opts` requested. The evaluation workload
+    /// is identical to [`BenchArtifacts::simulate_layout`]'s, so
+    /// counters match the `*_counters` fields exactly.
+    pub fn simulate_layout_full(
+        &self,
+        layout: &propeller_linker::FinalLayout,
+        opts: &SimOptions,
+    ) -> propeller_sim::SimReport {
+        let img = ProgramImage::build(self.pipeline.program(), layout).expect("image");
+        simulate(&img, &self.workload, &self.uarch, opts)
+    }
+
+    /// The three comparable layouts as `(label, layout)` — baseline
+    /// always, Propeller always, BOLT when its output runs.
+    pub fn comparable_layouts(&self) -> Vec<(&'static str, &propeller_linker::FinalLayout)> {
+        let mut out = vec![
+            ("baseline", &self.baseline.layout),
+            (
+                "propeller",
+                &self.pipeline.po_binary().expect("phase 4 ran").layout,
+            ),
+        ];
+        if let Ok(b) = &self.bolt {
+            if !b.crash_on_startup {
+                out.push(("bolt", &b.layout));
+            }
+        }
+        out
     }
 
     /// Whether the BOLT-optimized binary can actually run.
@@ -408,6 +441,7 @@ pub fn run_layout_variants(
             sampling: Some(SamplingConfig { period: 101 }),
             heatmap: None,
             collect_call_misses: false,
+            attribution: false,
         },
     )
     .profile

@@ -67,6 +67,7 @@ fn bolt_improves_layout_like_propeller() {
             sampling: Some(SamplingConfig { period: 61 }),
             heatmap: None,
             collect_call_misses: false,
+            attribution: false,
         },
     );
     let profile = prof_run.profile.unwrap();
@@ -110,6 +111,7 @@ fn bolt_binary_is_much_larger_than_input() {
             sampling: Some(SamplingConfig { period: 61 }),
             heatmap: None,
             collect_call_misses: false,
+            attribution: false,
         },
     )
     .profile
@@ -156,6 +158,7 @@ fn lite_mode_reduces_optimize_memory() {
             sampling: Some(SamplingConfig { period: 61 }),
             heatmap: None,
             collect_call_misses: false,
+            attribution: false,
         },
     )
     .profile
@@ -198,6 +201,7 @@ fn integrity_checked_binaries_crash_at_startup() {
             sampling: Some(SamplingConfig { period: 61 }),
             heatmap: None,
             collect_call_misses: false,
+            attribution: false,
         },
     )
     .profile

@@ -60,6 +60,13 @@ pub struct PropellerOptions {
     /// functions are marked cold and the relink falls back to the
     /// identity symbol order (a correct, baseline-equivalent layout).
     pub profile_floor: f64,
+    /// Figure-7 heat-map resolution `(address buckets, time buckets)`
+    /// for the Phase 3 profiling run; `None` (the default) collects no
+    /// heat map.
+    pub heatmap: Option<(usize, usize)>,
+    /// Attribute the Phase 3 profiling run's events to symbols and
+    /// blocks (the `perf report` view); off by default.
+    pub attribution: bool,
 }
 
 impl Default for PropellerOptions {
@@ -76,6 +83,8 @@ impl Default for PropellerOptions {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             profile_floor: 0.25,
+            heatmap: None,
+            attribution: false,
         }
     }
 }
@@ -131,6 +140,15 @@ pub struct Propeller {
     /// the same execution `perf record` sampled; profile-quality audits
     /// compare the profile against these.
     profiled_counters: Option<CounterSet>,
+    /// Heat map of the Phase 3 profiling run, when the options request
+    /// one (the Figure 7 "before" picture: the PM binary still has the
+    /// baseline layout).
+    profile_heatmap: Option<propeller_sim::HeatMap>,
+    /// Symbol attribution of the Phase 3 profiling run, when requested.
+    profile_attribution: Option<propeller_sim::AttributedCounters>,
+    /// Folded call stacks of the Phase 3 profiling run (cycle-weighted
+    /// flamegraph input), collected together with the attribution.
+    profile_folded: Option<propeller_sim::FoldedStacks>,
     call_misses: Option<std::collections::HashMap<(u64, u64), u64>>,
     times: PhaseTimes,
     hot_module_fraction: f64,
@@ -202,6 +220,9 @@ impl Propeller {
             po_binary: None,
             phase4_program: None,
             profiled_counters: None,
+            profile_heatmap: None,
+            profile_attribution: None,
+            profile_folded: None,
             call_misses: None,
             times: PhaseTimes::default(),
             hot_module_fraction: 0.0,
@@ -251,6 +272,26 @@ impl Propeller {
     /// Simulator counters of the Phase 3 profiling run, if it ran.
     pub fn profiled_counters(&self) -> Option<&CounterSet> {
         self.profiled_counters.as_ref()
+    }
+
+    /// Heat map of the Phase 3 profiling run, if
+    /// [`PropellerOptions::heatmap`] requested one and Phase 3 ran.
+    pub fn profile_heatmap(&self) -> Option<&propeller_sim::HeatMap> {
+        self.profile_heatmap.as_ref()
+    }
+
+    /// Symbol attribution of the Phase 3 profiling run, if
+    /// [`PropellerOptions::attribution`] requested it and Phase 3 ran.
+    pub fn profile_attribution(&self) -> Option<&propeller_sim::AttributedCounters> {
+        self.profile_attribution.as_ref()
+    }
+
+    /// Folded call stacks of the Phase 3 profiling run, if
+    /// [`PropellerOptions::attribution`] requested them and Phase 3
+    /// ran. [`propeller_sim::FoldedStacks::to_text`] is the flamegraph
+    /// input format.
+    pub fn profile_folded(&self) -> Option<&propeller_sim::FoldedStacks> {
+        self.profile_folded.as_ref()
     }
 
     /// The program Phase 4 regenerated from (prefetch-augmented when
@@ -550,14 +591,18 @@ impl Propeller {
             &self.opts.uarch,
             &SimOptions {
                 sampling: Some(self.opts.sampling),
-                heatmap: None,
+                heatmap: self.opts.heatmap,
                 collect_call_misses: self.opts.prefetch.is_some(),
+                attribution: self.opts.attribution,
             },
             &self.tel,
             span_id,
         );
         self.call_misses = run.call_misses;
         self.profiled_counters = Some(run.counters);
+        self.profile_heatmap = run.heatmap;
+        self.profile_attribution = run.attribution;
+        self.profile_folded = run.folded;
         let mut profile = run.profile.ok_or(PipelineError::Internal {
             what: "profiler returned no profile despite sampling being enabled",
         })?;
@@ -797,6 +842,7 @@ impl Propeller {
             shrunk_branches: po.stats.shrunk_branches,
             optimized_binary_name: po.name.clone(),
             degradation: self.ledger.clone(),
+            profile_attribution: self.profile_attribution.clone(),
         })
     }
 
@@ -842,6 +888,27 @@ impl Propeller {
     ///
     /// Fails if Phase 4 has not run, or image construction fails.
     pub fn evaluate(&mut self, block_budget: u64) -> Result<EvalReport, PipelineError> {
+        let (base, opt) = self.evaluate_with(block_budget, &SimOptions::default())?;
+        Ok(EvalReport {
+            baseline: base.counters,
+            optimized: opt.counters,
+        })
+    }
+
+    /// [`Propeller::evaluate`] with caller-chosen collection options —
+    /// the same workload runs over the baseline and optimized images,
+    /// and both full [`propeller_sim::SimReport`]s come back (counters
+    /// plus whatever attribution/heat-map/flamegraph data `opts`
+    /// requested).
+    ///
+    /// # Errors
+    ///
+    /// Fails if Phase 4 has not run, or image construction fails.
+    pub fn evaluate_with(
+        &mut self,
+        block_budget: u64,
+        sim_opts: &SimOptions,
+    ) -> Result<(propeller_sim::SimReport, propeller_sim::SimReport), PipelineError> {
         let baseline = self.build_baseline()?;
         let Some(po) = self.po_binary.clone() else {
             return Err(PipelineError::PhaseOrder { needs: "phase 4" });
@@ -859,7 +926,7 @@ impl Propeller {
             &base_img,
             &workload,
             &self.opts.uarch,
-            &SimOptions::default(),
+            sim_opts,
             &self.tel,
             span_id,
         );
@@ -867,13 +934,10 @@ impl Propeller {
             &opt_img,
             &workload,
             &self.opts.uarch,
-            &SimOptions::default(),
+            sim_opts,
             &self.tel,
             span_id,
         );
-        Ok(EvalReport {
-            baseline: base.counters,
-            optimized: opt.counters,
-        })
+        Ok((base, opt))
     }
 }

@@ -2,7 +2,7 @@
 
 use propeller_buildsys::{CacheStats, PhaseReport};
 use propeller_faults::DegradationLedger;
-use propeller_sim::CounterSet;
+use propeller_sim::{AttributedCounters, CounterSet};
 use propeller_wpa::WpaStats;
 
 /// Wall/CPU time and memory of the four phases (the Table 5 columns).
@@ -53,6 +53,11 @@ pub struct PropellerReport {
     /// (all-zero, optimized layout) unless the configured fault plan
     /// actually fired.
     pub degradation: DegradationLedger,
+    /// Per-symbol attribution of the Phase 3 profiling run, when
+    /// [`crate::PropellerOptions::attribution`] requested it — the
+    /// `perf report` view of the very execution the layout was
+    /// derived from.
+    pub profile_attribution: Option<AttributedCounters>,
 }
 
 /// Baseline-vs-optimized measurement from the simulator.

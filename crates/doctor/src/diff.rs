@@ -105,6 +105,11 @@ pub struct DiffReport {
     /// Changed degradation-ledger entries: lower-better when the two
     /// reports ran under the same fault plan, informational otherwise.
     pub degradation_deltas: Vec<MetricDelta>,
+    /// Per-symbol attributed-cycle changes (symbols present in both
+    /// reports' attribution sections). Lower-better at equal fault
+    /// plans: a layout change that regresses one hot function fails
+    /// the gate even when the aggregate speedup barely moves.
+    pub attribution_deltas: Vec<MetricDelta>,
     /// Fault plan of the baseline report (empty when fault-free).
     pub plan_a: String,
     /// Fault plan of the candidate report (empty when fault-free).
@@ -123,6 +128,7 @@ impl DiffReport {
             && self.wall_deltas.is_empty()
             && self.layout_changes.is_empty()
             && self.degradation_deltas.is_empty()
+            && self.attribution_deltas.is_empty()
             && !self.plans_differ()
     }
 
@@ -138,6 +144,7 @@ impl DiffReport {
         self.deltas
             .iter()
             .chain(&self.degradation_deltas)
+            .chain(&self.attribution_deltas)
             .any(|d| d.regression)
     }
 
@@ -198,14 +205,32 @@ impl DiffReport {
                 }
             );
         }
+        for d in &self.attribution_deltas {
+            let _ = writeln!(
+                out,
+                "  cycles[{:<22}] {:>12.0} -> {:>12.0} ({:+.2}%){}",
+                d.key,
+                d.a,
+                d.b,
+                d.delta_pct,
+                if d.regression {
+                    "  REGRESSION"
+                } else if self.plans_differ() {
+                    "  [not gated: plans differ]"
+                } else {
+                    ""
+                }
+            );
+        }
         for c in &self.layout_changes {
             let _ = writeln!(out, "  layout {:<23} {}", c.func_symbol, c.what);
         }
         let _ = writeln!(
             out,
-            "{} metric change(s), {} degradation change(s), {} layout change(s), tolerance {}%: {}",
+            "{} metric change(s), {} degradation change(s), {} per-symbol change(s), {} layout change(s), tolerance {}%: {}",
             self.deltas.len(),
             self.degradation_deltas.len(),
+            self.attribution_deltas.len(),
             self.layout_changes.len(),
             self.tolerance_pct,
             if self.has_regression() {
@@ -370,6 +395,42 @@ fn diff_degradation(a: &RunReport, b: &RunReport, tolerance_pct: f64) -> Vec<Met
     deltas
 }
 
+/// Per-symbol attributed-cycle deltas — the `perf report` gate. Only
+/// symbols present in both attribution sections compare (a symbol
+/// entering or leaving the top-N is a ranking change, not a measured
+/// regression); cycles are lower-better and gate at the shared
+/// tolerance when the fault plans match.
+fn diff_attribution(a: &RunReport, b: &RunReport, tolerance_pct: f64) -> Vec<MetricDelta> {
+    let (Some(sa), Some(sb)) = (&a.attribution, &b.attribution) else {
+        return Vec::new();
+    };
+    let gated = a.fault_plan == b.fault_plan;
+    let mut deltas = Vec::new();
+    for row in &sa.symbols {
+        let Some(other) = sb.get(&row.symbol) else {
+            continue;
+        };
+        let (va, vb) = (row.counters.cycles as f64, other.counters.cycles as f64);
+        if va == vb {
+            continue;
+        }
+        let delta_pct = relative_delta_pct(va, vb);
+        deltas.push(MetricDelta {
+            key: row.symbol.clone(),
+            a: va,
+            b: vb,
+            delta_pct,
+            direction: if gated {
+                Direction::LowerBetter
+            } else {
+                Direction::Informational
+            },
+            regression: gated && vb > va && delta_pct > tolerance_pct,
+        });
+    }
+    deltas
+}
+
 /// Diffs candidate report `b` against baseline report `a` at the given
 /// tolerance (percent). Gated metrics moving in their bad direction by
 /// more than `tolerance_pct` mark the diff as a regression. When the
@@ -392,6 +453,7 @@ pub fn diff_reports(a: &RunReport, b: &RunReport, tolerance_pct: f64) -> DiffRep
         wall_deltas,
         layout_changes: diff_layouts(&a.layout.functions, &b.layout.functions),
         degradation_deltas: diff_degradation(a, b, tolerance_pct),
+        attribution_deltas: diff_attribution(a, b, tolerance_pct),
         plan_a: a.fault_plan.clone(),
         plan_b: b.fault_plan.clone(),
         tolerance_pct,
@@ -571,6 +633,65 @@ mod tests {
         let d = diff_reports(&r, &r, 0.0);
         assert!(d.is_empty());
         assert!(!d.has_regression());
+    }
+
+    fn with_attr(mut r: RunReport, rows: &[(&str, u64)]) -> RunReport {
+        use crate::perf::{AttributionSection, SymbolCounters};
+        r.attribution = Some(AttributionSection {
+            symbols: rows
+                .iter()
+                .map(|&(name, cycles)| SymbolCounters {
+                    symbol: name.into(),
+                    counters: propeller_sim::CounterSet {
+                        cycles,
+                        ..propeller_sim::CounterSet::default()
+                    },
+                })
+                .collect(),
+        });
+        r
+    }
+
+    #[test]
+    fn per_symbol_cycle_growth_regresses() {
+        // Aggregate metrics identical — only one hot function silently
+        // got slower. The per-symbol gate still catches it.
+        let a = with_attr(report_with(&[("eval.speedup_pct", 5.0)]), &[("hot_a", 1000), ("hot_b", 500)]);
+        let b = with_attr(report_with(&[("eval.speedup_pct", 5.0)]), &[("hot_a", 1200), ("hot_b", 480)]);
+        let d = diff_reports(&a, &b, 0.5);
+        assert!(d.has_regression());
+        let hot_a = d.attribution_deltas.iter().find(|x| x.key == "hot_a").unwrap();
+        assert!(hot_a.regression);
+        assert_eq!(hot_a.direction, Direction::LowerBetter);
+        // hot_b improved — reported, not a regression.
+        let hot_b = d.attribution_deltas.iter().find(|x| x.key == "hot_b").unwrap();
+        assert!(!hot_b.regression);
+        assert!(d.render().contains("cycles[hot_a"));
+        // Within tolerance: 20% growth passes a 25% gate.
+        assert!(!diff_reports(&a, &b, 25.0).has_regression());
+        // Self-diff stays empty.
+        assert!(diff_reports(&a, &a, 0.0).is_empty());
+    }
+
+    #[test]
+    fn attribution_gating_suspends_when_plans_differ() {
+        let a = with_attr(report_with(&[]), &[("hot_a", 1000)]);
+        let mut b = with_attr(report_with(&[]), &[("hot_a", 5000)]);
+        b.fault_plan = "corrupt-lbr=1".into();
+        let d = diff_reports(&a, &b, 0.0);
+        assert!(!d.has_regression());
+        assert_eq!(d.attribution_deltas[0].direction, Direction::Informational);
+    }
+
+    #[test]
+    fn attribution_missing_sections_or_symbols_do_not_gate() {
+        // Baseline without attribution (e.g. an old report): no gate.
+        let a = report_with(&[]);
+        let b = with_attr(report_with(&[]), &[("hot_a", 9999)]);
+        assert!(diff_reports(&a, &b, 0.0).attribution_deltas.is_empty());
+        // A symbol leaving the top-N is a ranking change, not a delta.
+        let a = with_attr(report_with(&[]), &[("gone", 100)]);
+        assert!(diff_reports(&a, &b, 0.0).attribution_deltas.is_empty());
     }
 
     #[test]

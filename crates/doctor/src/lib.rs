@@ -19,11 +19,17 @@
 //!   symbol-order positions), and an embedded telemetry snapshot;
 //! * [`diff`] — structural + metric diffs between two `RunReport`s
 //!   with per-direction regression tolerances; `propeller_cli diff` is
-//!   the CI bench gate built on it.
+//!   the CI bench gate built on it;
+//! * [`perf`] — `perf report`/`perf annotate` over the simulator's
+//!   symbol attribution: the differential baseline/Propeller/BOLT
+//!   top-N table, the per-function block walk joined against Ext-TSP
+//!   provenance, and the [`AttributionSection`] rows that `RunReport`
+//!   embeds and `diff` gates per-symbol.
 
 pub mod audit;
 pub mod diff;
 pub mod doctor;
+pub mod perf;
 pub mod report;
 
 pub use audit::{
@@ -34,4 +40,5 @@ pub use diff::{diff_reports, direction_of, DiffReport, Direction, LayoutChange, 
 pub use doctor::{
     degradation_findings, diagnose, render, worst, DoctorConfig, Finding, Severity,
 };
+pub use perf::{render_annotate, render_perf_report, AttributionSection, SymbolCounters};
 pub use report::RunReport;

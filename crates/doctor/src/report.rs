@@ -9,6 +9,7 @@
 //! are reported but never treated as regressions by [`crate::diff`].
 
 use crate::audit::ProfileAudit;
+use crate::perf::AttributionSection;
 use propeller::{EvalReport, Propeller, PropellerReport};
 use propeller_faults::DegradationLedger;
 use propeller_telemetry::{JsonValue, MetricsSnapshot};
@@ -39,6 +40,11 @@ pub struct RunReport {
     pub degradation: DegradationLedger,
     /// Embedded metrics-registry snapshot, when telemetry was on.
     pub telemetry: Option<MetricsSnapshot>,
+    /// Top-N symbol-attributed counters of the optimized binary's
+    /// evaluation run, when attribution was collected. Callers set
+    /// this after [`RunReport::collect`]; `None` keeps the JSON
+    /// bit-identical to pre-attribution reports.
+    pub attribution: Option<AttributionSection>,
 }
 
 impl RunReport {
@@ -145,6 +151,7 @@ impl RunReport {
             fault_plan: pipeline.options().faults.to_spec_string(),
             degradation: summary.degradation.clone(),
             telemetry,
+            attribution: None,
         }
     }
 
@@ -197,6 +204,13 @@ impl RunReport {
         }
         if let Some(tel) = &self.telemetry {
             members.push(("telemetry".to_string(), tel.to_json()));
+        }
+        // Also optional: reports without attribution (the default, and
+        // every pre-attribution baseline) must not mention it.
+        if let Some(attr) = &self.attribution {
+            if !attr.is_empty() {
+                members.push(("attribution".to_string(), attr.to_json()));
+            }
         }
         JsonValue::Obj(members)
     }
@@ -274,6 +288,10 @@ impl RunReport {
             }
             None => None,
         };
+        let attribution = match v.get("attribution") {
+            Some(a) => Some(AttributionSection::from_json(a)?),
+            None => None,
+        };
         Ok(RunReport {
             benchmark,
             scale,
@@ -284,6 +302,7 @@ impl RunReport {
             fault_plan,
             degradation,
             telemetry,
+            attribution,
         })
     }
 
@@ -510,6 +529,32 @@ mod tests {
         let back = RunReport::parse(&json).unwrap();
         assert!(back.fault_plan.is_empty());
         assert!(back.degradation.is_clean());
+    }
+
+    #[test]
+    fn round_trips_attribution_and_omits_when_absent() {
+        use crate::perf::SymbolCounters;
+        // Absent (the default): the JSON must not mention attribution,
+        // preserving bit-identity with pre-attribution baselines.
+        let clean = sample_report();
+        assert!(!clean.to_json_string().contains("attribution"));
+
+        let mut r = sample_report();
+        r.attribution = Some(AttributionSection {
+            symbols: vec![SymbolCounters {
+                symbol: "hot_a".into(),
+                counters: propeller_sim::CounterSet {
+                    cycles: 1234,
+                    insts: 900,
+                    l1i_misses: 17,
+                    ..propeller_sim::CounterSet::default()
+                },
+            }],
+        });
+        let json = r.to_json_string();
+        assert!(json.contains("attribution"));
+        let back = RunReport::parse(&json).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

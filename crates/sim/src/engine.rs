@@ -1,5 +1,6 @@
 //! The trace-driven front-end simulator.
 
+use crate::attr::AttrSink;
 use crate::cache::SetAssocCache;
 use crate::config::{UarchConfig, Workload};
 use crate::counters::{CounterSet, SimReport};
@@ -20,6 +21,10 @@ pub struct SimOptions {
     /// callee entry, keyed by `(call-site block address, callee entry
     /// address)` — the input to §3.5's prefetch insertion.
     pub collect_call_misses: bool,
+    /// Attribute every counted event to the `(function, basic block)`
+    /// it hit, plus folded call stacks weighted by cycles — the
+    /// simulator-side `perf record -g` + `perf report` data.
+    pub attribution: bool,
 }
 
 /// Encoded call instruction length (return address displacement).
@@ -212,6 +217,14 @@ pub fn simulate_traced(
         tel.counter_add("sim.cycles", c.cycles);
         tel.counter_add("sim.l1i_misses", c.l1i_misses);
         tel.counter_add("sim.itlb_misses", c.itlb_misses);
+        if let Some(a) = &report.attribution {
+            let _attr_span = tel.span_under("sim.attribution", parent);
+            tel.counter_add("attr.symbols", a.symbols.len() as u64);
+            tel.counter_add("attr.block_rows", a.block_rows() as u64);
+            if let Some(f) = &report.folded {
+                tel.counter_add("attr.folded_stacks", f.stacks.len() as u64);
+            }
+        }
     }
     report
 }
@@ -284,8 +297,31 @@ pub fn simulate(
     );
 
     let mut stack: Vec<Frame> = Vec::new();
+    // The function ids of the live frames, root first — the folded
+    // call chain attribution charges cycle weights to. Mirrors
+    // `stack` so attribution never needs to borrow it.
+    let mut call_chain: Vec<u32> = Vec::new();
+    let mut attr = opts.attribution.then(|| AttrSink::new(image));
     let mut executed_blocks = 0u64;
     let mut call_misses: HashMap<(u64, u64), u64> = HashMap::new();
+
+    // Runs `$body` and charges every counter/cycle delta it produces
+    // to block `$b` of function `$f` (snapshot-diff, so attribution
+    // cannot drift from the aggregate counters). `$f`/`$b` are
+    // evaluated before the body runs.
+    macro_rules! charged {
+        ($f:expr, $b:expr, $body:block) => {{
+            if let Some(sink) = attr.as_mut() {
+                let (cf, cb) = ($f, $b);
+                let prev = fe.counters;
+                let prev_cycles = fe.cycles;
+                $body
+                sink.charge(&call_chain, cf, cb, (&prev, prev_cycles), (&fe.counters, fe.cycles));
+            } else {
+                $body
+            }
+        }};
+    }
 
     while executed_blocks < workload.block_budget {
         if stack.is_empty() {
@@ -305,30 +341,41 @@ pub fn simulate(
                 call_idx: 0,
                 entered: false,
             });
+            call_chain.push(chosen as u32);
         }
         let top = stack.last_mut().expect("nonempty");
         let block = &image.functions[top.f].blocks[top.b];
         if !top.entered {
             top.entered = true;
             executed_blocks += 1;
-            fe.counters.blocks += 1;
-            fe.fetch(block.addr, block.size);
-            fe.retire(block.straight_insts);
-            for &target in &block.prefetches {
-                fe.prefetch(image.functions[target as usize].blocks[0].addr);
-            }
+            charged!(top.f, top.b, {
+                fe.counters.blocks += 1;
+                fe.fetch(block.addr, block.size);
+                fe.retire(block.straight_insts);
+                for &target in &block.prefetches {
+                    fe.prefetch(image.functions[target as usize].blocks[0].addr);
+                }
+            });
         }
         if top.call_idx < block.calls.len() {
             let (off, callee) = block.calls[top.call_idx];
+            let (cf, cb) = (top.f, top.b);
             top.call_idx += 1;
             if stack.len() < workload.max_call_depth {
                 let from = block.addr + off as u64;
                 let to = image.functions[callee as usize].blocks[0].addr;
-                fe.taken(from, true);
+                // The transfer itself belongs to the call site...
+                charged!(cf, cb, {
+                    fe.taken(from, true);
+                });
                 // Fetch the callee's entry line at transfer time; a miss
                 // here is exactly what a software prefetch earlier in
-                // the caller would have hidden.
-                let missed = fe.fetch(to, 1);
+                // the caller would have hidden. It is charged to the
+                // callee's entry block, where `perf` reports it.
+                let missed: bool;
+                charged!(callee as usize, 0, {
+                    missed = fe.fetch(to, 1);
+                });
                 if missed && opts.collect_call_misses {
                     *call_misses.entry((block.addr, to)).or_insert(0) += 1;
                 }
@@ -341,6 +388,7 @@ pub fn simulate(
                     call_idx: 0,
                     entered: false,
                 });
+                call_chain.push(callee);
             }
             continue;
         }
@@ -349,30 +397,39 @@ pub fn simulate(
         let from = end.saturating_sub(1);
         match block.term {
             SimTerm::Ret => {
-                fe.retire(block.branch_insts);
-                stack.pop();
-                if let Some(caller) = stack.last() {
-                    let cblock = &image.functions[caller.f].blocks[caller.b];
-                    let (call_off, _) = cblock.calls[caller.call_idx - 1];
-                    let to = cblock.addr + call_off as u64 + CALL_LEN;
-                    fe.taken(from, false);
-                    if let Some(s) = &mut sampler {
-                        s.record(from, to);
+                // Both the return's retire and its transfer belong to
+                // the returning block; charge before popping so the
+                // call chain still names the callee as the leaf.
+                let (rf, rb) = (top.f, top.b);
+                charged!(rf, rb, {
+                    fe.retire(block.branch_insts);
+                    stack.pop();
+                    if let Some(caller) = stack.last() {
+                        let cblock = &image.functions[caller.f].blocks[caller.b];
+                        let (call_off, _) = cblock.calls[caller.call_idx - 1];
+                        let to = cblock.addr + call_off as u64 + CALL_LEN;
+                        fe.taken(from, false);
+                        if let Some(s) = &mut sampler {
+                            s.record(from, to);
+                        }
                     }
-                }
+                });
+                call_chain.pop();
             }
             SimTerm::Jump(t) => {
-                fe.retire(block.branch_insts);
-                let target = &image.functions[top.f].blocks[t as usize];
-                if block.branch_insts == 0 {
-                    debug_assert_eq!(target.addr, end, "deleted jump implies adjacency");
-                    fe.counters.fallthroughs += 1;
-                } else {
-                    fe.taken(from, true);
-                    if let Some(s) = &mut sampler {
-                        s.record(from, target.addr);
+                charged!(top.f, top.b, {
+                    fe.retire(block.branch_insts);
+                    let target = &image.functions[top.f].blocks[t as usize];
+                    if block.branch_insts == 0 {
+                        debug_assert_eq!(target.addr, end, "deleted jump implies adjacency");
+                        fe.counters.fallthroughs += 1;
+                    } else {
+                        fe.taken(from, true);
+                        if let Some(s) = &mut sampler {
+                            s.record(from, target.addr);
+                        }
                     }
-                }
+                });
                 top.b = t as usize;
                 top.call_idx = 0;
                 top.entered = false;
@@ -390,15 +447,17 @@ pub fn simulate(
                 } else {
                     block.branch_insts.min(1)
                 };
-                fe.retire(executed);
-                if contiguous {
-                    fe.counters.fallthroughs += 1;
-                } else {
-                    fe.taken(from, true);
-                    if let Some(s) = &mut sampler {
-                        s.record(from, target_addr);
+                charged!(top.f, top.b, {
+                    fe.retire(executed);
+                    if contiguous {
+                        fe.counters.fallthroughs += 1;
+                    } else {
+                        fe.taken(from, true);
+                        if let Some(s) = &mut sampler {
+                            s.record(from, target_addr);
+                        }
                     }
-                }
+                });
                 top.b = t as usize;
                 top.call_idx = 0;
                 top.entered = false;
@@ -407,10 +466,19 @@ pub fn simulate(
     }
 
     fe.counters.cycles = fe.cycles.round() as u64;
+    let (attribution, folded) = match attr {
+        Some(sink) => {
+            let (a, f) = sink.finalize(&fe.counters);
+            (Some(a), Some(f))
+        }
+        None => (None, None),
+    };
     SimReport {
         counters: fe.counters,
         profile: sampler.map(|s| s.profile),
         heatmap: fe.heatmap,
         call_misses: opts.collect_call_misses.then_some(call_misses),
+        attribution,
+        folded,
     }
 }

@@ -1,0 +1,95 @@
+//! Text exporters for the observability artifacts: the Figure-7 heat
+//! map as CSV or PGM, for plotting outside the repo (gnuplot,
+//! matplotlib, any image viewer). The folded-stack flamegraph text
+//! lives on [`crate::attr::FoldedStacks::to_text`]; these cover the
+//! heat map.
+
+use crate::heatmap::HeatMap;
+use std::fmt::Write as _;
+
+/// Renders the heat map as CSV: a header row naming the time buckets,
+/// then one row per address bucket (low addresses first) whose first
+/// column is the bucket's starting address in hex.
+pub fn heatmap_csv(h: &HeatMap) -> String {
+    let mut out = String::new();
+    out.push_str("addr_bucket_start");
+    for c in 0..h.time_buckets {
+        let _ = write!(out, ",t{c}");
+    }
+    out.push('\n');
+    let span = h.addr_end - h.addr_start;
+    for r in 0..h.addr_buckets {
+        let start = h.addr_start + span * r as u64 / h.addr_buckets as u64;
+        let _ = write!(out, "0x{start:x}");
+        for c in 0..h.time_buckets {
+            let _ = write!(out, ",{}", h.cell(r, c));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the heat map as a plain (ASCII, P2) PGM grayscale image:
+/// one pixel per cell, rows = address buckets (top = low addresses),
+/// columns = time buckets, brighter = hotter. Cell counts are scaled
+/// to the 0–255 range by the maximum cell so the hottest cell is
+/// white.
+pub fn heatmap_pgm(h: &HeatMap) -> String {
+    let max = h.cells.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    let _ = writeln!(out, "P2");
+    let _ = writeln!(out, "# propeller-sim instruction-access heat map");
+    let _ = writeln!(out, "{} {}", h.time_buckets, h.addr_buckets);
+    let _ = writeln!(out, "255");
+    for r in 0..h.addr_buckets {
+        for c in 0..h.time_buckets {
+            if c > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{}", h.cell(r, c) * 255 / max);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HeatMap {
+        let mut h = HeatMap::new(0x1000, 0x2000, 4, 2, 4);
+        h.record(0x1000);
+        h.record(0x1fff);
+        h.record(0x1800);
+        h
+    }
+
+    #[test]
+    fn csv_shape_and_counts() {
+        let csv = heatmap_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5); // header + 4 address rows
+        assert_eq!(lines[0], "addr_bucket_start,t0,t1");
+        assert_eq!(lines[1], "0x1000,1,0");
+        assert_eq!(lines[3], "0x1800,0,1");
+        assert_eq!(lines[4], "0x1c00,1,0");
+    }
+
+    #[test]
+    fn pgm_is_valid_p2() {
+        let pgm = heatmap_pgm(&sample());
+        let mut lines = pgm.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        let _comment = lines.next().unwrap();
+        assert_eq!(lines.next(), Some("2 4")); // width height
+        assert_eq!(lines.next(), Some("255"));
+        let pixels: Vec<u32> = lines
+            .flat_map(|l| l.split_whitespace())
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert_eq!(pixels.len(), 8);
+        assert!(pixels.iter().all(|&p| p <= 255));
+        assert!(pixels.contains(&255)); // hottest cell saturates
+    }
+}

@@ -17,18 +17,24 @@
 //!
 //! Everything is deterministic given the workload seed.
 
+mod attr;
 mod cache;
 mod config;
 mod counters;
 mod engine;
+mod export;
 mod heatmap;
 mod image;
 mod rng;
 
+pub use attr::{
+    AttributedCounters, BlockAttribution, Event, FoldedStacks, SymbolAttribution,
+};
 pub use cache::SetAssocCache;
 pub use config::{CacheConfig, Penalties, TlbConfig, UarchConfig, Workload};
 pub use counters::{CounterSet, SimReport};
 pub use engine::{collect_profile, simulate, simulate_traced, SimOptions};
+pub use export::{heatmap_csv, heatmap_pgm};
 pub use heatmap::HeatMap;
 pub use image::{ImageError, ProgramImage, SimBlock, SimTerm};
 pub use rng::SplitMix64;

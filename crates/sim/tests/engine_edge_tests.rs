@@ -131,6 +131,7 @@ fn sampling_period_bounds_sample_count() {
             sampling: Some(SamplingConfig { period: 100 }),
             heatmap: None,
             collect_call_misses: false,
+            attribution: false,
         },
     );
     let profile = r.profile.unwrap();

@@ -210,6 +210,7 @@ fn lbr_sampling_produces_mappable_profile() {
             sampling: Some(SamplingConfig { period: 97 }),
             heatmap: None,
             collect_call_misses: false,
+            attribution: false,
         },
     );
     let profile = r.profile.expect("sampling enabled");
@@ -273,6 +274,7 @@ fn heatmap_covers_text_and_tracks_locality() {
             sampling: None,
             heatmap: Some((32, 16)),
             collect_call_misses: false,
+            attribution: false,
         },
     );
     let h = r.heatmap.expect("requested");

@@ -58,6 +58,7 @@ fn pm_and_profile(
             sampling: Some(SamplingConfig { period: 37 }),
             heatmap: None,
             collect_call_misses: false,
+            attribution: false,
         },
     )
     .profile

@@ -70,6 +70,7 @@ fn profile_binary(
             sampling: Some(SamplingConfig { period: 53 }),
             heatmap: None,
             collect_call_misses: false,
+            attribution: false,
         },
     );
     r.profile.unwrap()

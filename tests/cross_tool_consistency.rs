@@ -109,6 +109,7 @@ fn both_optimizers_reduce_taken_branches_on_same_profile() {
             sampling: Some(SamplingConfig { period: 89 }),
             heatmap: None,
             collect_call_misses: false,
+            attribution: false,
         },
     )
     .profile
@@ -173,6 +174,7 @@ fn bolt_memory_scales_with_text_propeller_with_hot_code() {
                 sampling: Some(SamplingConfig { period: 89 }),
                 heatmap: None,
                 collect_call_misses: false,
+                attribution: false,
             },
         )
         .profile
