@@ -5,7 +5,7 @@
 //!     List the available benchmark specs (Table 2).
 //!
 //! propeller_cli run <benchmark> [--scale S] [--seed N] [--out DIR]
-//!                   [--trace-out FILE] [--faults SPEC]
+//!                   [--trace-out FILE] [--faults SPEC] [--jobs N]
 //!                   [--flamegraph-out FILE] [--heatmap-out FILE]
 //!     Generate the benchmark, run the 4-phase pipeline, evaluate
 //!     against the baseline, and (with --out) write cc_prof.txt and
@@ -25,7 +25,10 @@
 //!     also embeds the per-symbol attribution table in
 //!     run_report.json. --heatmap-out writes the Phase 3 code-access
 //!     heat map (Figure 7) as CSV, or as a PGM grayscale image when
-//!     FILE ends in `.pgm`.
+//!     FILE ends in `.pgm`. --jobs sets the worker threads for the
+//!     Phase 2/4 codegen fan-out and Ext-TSP gain evaluation (default:
+//!     the machine's available parallelism; 1 forces the serial legacy
+//!     path) — every artifact is bit-identical at every job count.
 //!
 //! propeller_cli perf-report <benchmark> [--scale S] [--seed N]
 //!                           [--top N] [--event E] [--out FILE]
@@ -49,15 +52,17 @@
 //!     cycles).
 //!
 //! propeller_cli doctor <benchmark> [--scale S] [--seed N]
-//!                      [--faults SPEC]
+//!                      [--faults SPEC] [--jobs N]
 //!     Run the pipeline and audit the profile it consumed: hot-text
 //!     sample coverage, unmapped-address rate, fall-through inference
 //!     confidence, sample-capture ratio, and the stale-profile skew
-//!     score from re-simulating the optimized binary. The report ends
-//!     with the degradation section (what the run gave up surviving
-//!     injected faults — WARN at most, never FAIL, because degraded
-//!     runs still ship correct binaries). Exits nonzero when any
-//!     dimension FAILs its threshold.
+//!     score from re-simulating the optimized binary. The report also
+//!     compares measured wall-clock against the cost model per phase
+//!     (WARN when the pool ran >5x slower than perfect scaling at the
+//!     configured --jobs), and ends with the degradation section (what
+//!     the run gave up surviving injected faults — WARN at most, never
+//!     FAIL, because degraded runs still ship correct binaries). Exits
+//!     nonzero when any dimension FAILs its threshold.
 //!
 //! propeller_cli chaos [<benchmark>] [--scale S] [--seed N] [--out DIR]
 //!     Run the built-in fault matrix (zero faults, transient storm,
@@ -110,7 +115,7 @@ fn usage() -> ExitCode {
          compare <bench> | perf-report <bench> | annotate <bench> <function> | \
          diff <A.json> <B.json> | dump <bench> | map <bench>> \
          [--scale S] [--seed N] [--out PATH] [--trace-out FILE] [--json] \
-         [--tolerance PCT] [--faults SPEC] [--top N] [--event E] \
+         [--tolerance PCT] [--faults SPEC] [--jobs N] [--top N] [--event E] \
          [--flamegraph-out FILE] [--heatmap-out FILE]"
     );
     ExitCode::FAILURE
@@ -137,6 +142,7 @@ struct Args {
     trace_out: Option<String>,
     json: bool,
     faults: Option<String>,
+    jobs: Option<usize>,
     flamegraph_out: Option<String>,
     heatmap_out: Option<String>,
     top: usize,
@@ -153,6 +159,7 @@ fn parse_args(mut rest: impl Iterator<Item = String>) -> Option<Args> {
         trace_out: None,
         json: false,
         faults: None,
+        jobs: None,
         flamegraph_out: None,
         heatmap_out: None,
         top: 10,
@@ -166,6 +173,7 @@ fn parse_args(mut rest: impl Iterator<Item = String>) -> Option<Args> {
             "--trace-out" => args.trace_out = Some(rest.next()?),
             "--json" => args.json = true,
             "--faults" => args.faults = Some(rest.next()?),
+            "--jobs" => args.jobs = Some(rest.next()?.parse().ok().filter(|&j| j > 0)?),
             "--flamegraph-out" => args.flamegraph_out = Some(rest.next()?),
             "--heatmap-out" => args.heatmap_out = Some(rest.next()?),
             "--top" => args.top = rest.next()?.parse().ok()?,
@@ -190,12 +198,16 @@ fn event_for(args: &Args, default: Event) -> Result<Event, ExitCode> {
 }
 
 /// Pipeline options for a CLI invocation: the default options, plus
-/// the parsed `--faults` plan when one was given. Only a non-empty
-/// plan changes anything — fault-free invocations keep the exact
-/// default options so their output stays bit-identical to builds
-/// without the fault layer.
+/// the parsed `--faults` plan and `--jobs` count when given. Only a
+/// non-empty plan changes anything — fault-free invocations keep the
+/// exact default options so their output stays bit-identical to builds
+/// without the fault layer. (`--jobs` never changes output at all:
+/// every parallel stage reduces in submission order.)
 fn options_for(args: &Args) -> Result<PropellerOptions, ExitCode> {
     let mut opts = PropellerOptions::default();
+    if let Some(jobs) = args.jobs {
+        opts.jobs = jobs;
+    }
     if let Some(spec) = &args.faults {
         match FaultPlan::parse(spec) {
             Ok(plan) if plan.is_none() => {}
@@ -608,6 +620,7 @@ fn main() -> ExitCode {
                 Ok(o) => o,
                 Err(code) => return code,
             };
+            let jobs = opts.jobs;
             let mut pipeline = Propeller::new(gen.program, gen.entries, opts);
             if let Err(e) = pipeline.run_all() {
                 eprintln!("pipeline failed: {e}");
@@ -621,6 +634,7 @@ fn main() -> ExitCode {
                 }
             };
             let mut findings = diagnose(&audit, &DoctorConfig::default());
+            findings.extend(propeller_doctor::wall_clock_findings(pipeline.times(), jobs));
             findings.extend(degradation_findings(pipeline.degradation()));
             print!("{}", propeller_doctor::render(&findings));
             if propeller_doctor::worst(&findings) == Severity::Fail {

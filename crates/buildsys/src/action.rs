@@ -42,6 +42,16 @@ pub struct PhaseReport {
     /// per-action limit is compared against, and the paper's Fig. 4
     /// y-axis.
     pub max_action_memory: u64,
+    /// *Measured* wall-clock microseconds the phase's real local work
+    /// took on the worker pool. Zero for modeled-only phases (where
+    /// nothing executes locally). Never enters `run_report.json` —
+    /// real timing is nondeterministic and would break the 0%-tolerance
+    /// determinism gate; it feeds the doctor and human-facing output.
+    pub wall_us: u64,
+    /// Measured microseconds of useful work summed across workers
+    /// (`busy/(wall × jobs)` is the pool's parallel efficiency). Zero
+    /// for modeled-only phases.
+    pub busy_us: u64,
 }
 
 impl PhaseReport {
@@ -53,7 +63,30 @@ impl PhaseReport {
             cpu_secs: self.cpu_secs + next.cpu_secs,
             num_actions: self.num_actions + next.num_actions,
             max_action_memory: self.max_action_memory.max(next.max_action_memory),
+            wall_us: self.wall_us + next.wall_us,
+            busy_us: self.busy_us + next.busy_us,
         }
+    }
+
+    /// Fraction of the pool's capacity the measured work kept busy:
+    /// `busy_us / (wall_us × jobs)`, in `[0, 1]`-ish (small overshoot
+    /// possible from timer granularity). `None` when nothing was
+    /// measured.
+    pub fn parallel_efficiency(&self, jobs: usize) -> Option<f64> {
+        if self.wall_us == 0 || jobs == 0 {
+            return None;
+        }
+        Some(self.busy_us as f64 / (self.wall_us as f64 * jobs as f64))
+    }
+
+    /// How far the measured wall clock diverges from what the pool
+    /// model predicts at `jobs` workers (`wall ≈ busy/jobs`), as a
+    /// ratio ≥ 1. Equals `1 / parallel_efficiency`. `None` when
+    /// nothing was measured. The doctor WARNs above 5×.
+    pub fn wall_model_divergence(&self, jobs: usize) -> Option<f64> {
+        self.parallel_efficiency(jobs)
+            .filter(|&e| e > 0.0)
+            .map(|e| 1.0 / e)
     }
 }
 
@@ -68,18 +101,40 @@ mod tests {
             cpu_secs: 10.0,
             num_actions: 4,
             max_action_memory: 512,
+            wall_us: 100,
+            busy_us: 90,
         };
         let b = PhaseReport {
             wall_secs: 1.5,
             cpu_secs: 1.5,
             num_actions: 1,
             max_action_memory: 2048,
+            wall_us: 50,
+            busy_us: 40,
         };
         let c = a.then(&b);
         assert_eq!(c.num_actions, 5);
         assert_eq!(c.max_action_memory, 2048);
         assert!((c.wall_secs - 3.5).abs() < 1e-12);
         assert!((c.cpu_secs - 11.5).abs() < 1e-12);
+        assert_eq!(c.wall_us, 150);
+        assert_eq!(c.busy_us, 130);
+    }
+
+    #[test]
+    fn parallel_efficiency_and_divergence() {
+        let r = PhaseReport {
+            wall_us: 1000,
+            busy_us: 1600,
+            ..PhaseReport::default()
+        };
+        // 1600 µs of work over 1000 µs of wall on 2 workers: 80% busy.
+        let e = r.parallel_efficiency(2).unwrap();
+        assert!((e - 0.8).abs() < 1e-12);
+        assert!((r.wall_model_divergence(2).unwrap() - 1.25).abs() < 1e-12);
+        // Unmeasured phases report nothing rather than 0 or infinity.
+        assert_eq!(PhaseReport::default().parallel_efficiency(2), None);
+        assert_eq!(r.parallel_efficiency(0), None);
     }
 
     #[test]

@@ -5,10 +5,12 @@ use std::fmt;
 
 /// A failure of the (simulated) distributed build system.
 ///
-/// The only way a well-formed action can fail is by asking for more
+/// A well-formed action can fail in two ways: by asking for more
 /// resources than the infrastructure grants a single action — the
 /// paper's 12 GB per-action ceiling (§2.1) that keeps monolithic
-/// rewriters like BOLT off the distributed build.
+/// rewriters like BOLT off the distributed build — or by its worker
+/// panicking while executing real (not just modeled) work on the
+/// local thread pool.
 #[derive(Clone, PartialEq, Debug)]
 pub enum BuildError {
     /// An action declared a peak RSS above the machine's per-action
@@ -20,6 +22,16 @@ pub enum BuildError {
         needed_bytes: u64,
         /// The per-action limit in force.
         limit_bytes: u64,
+    },
+    /// A worker thread panicked while executing pooled work. The pool
+    /// catches the unwind, finishes draining the remaining items, and
+    /// surfaces the first panic as this typed error — never a hang,
+    /// never a poisoned lock.
+    WorkerPanicked {
+        /// What the pool was executing (e.g. `"codegen batch"`).
+        what: String,
+        /// The panic payload, when it was a string.
+        message: String,
     },
 }
 
@@ -40,6 +52,9 @@ impl fmt::Display for BuildError {
                 gib(*needed_bytes),
                 gib(*limit_bytes)
             ),
+            BuildError::WorkerPanicked { what, message } => {
+                write!(f, "worker panicked while executing {what}: {message}")
+            }
         }
     }
 }
@@ -62,5 +77,16 @@ mod tests {
         assert!(s.contains("llvm-bolt"), "{s}");
         assert!(s.contains("36.0 GiB"), "{s}");
         assert!(s.contains("12.0 GiB"), "{s}");
+    }
+
+    #[test]
+    fn worker_panic_display_names_site_and_payload() {
+        let e = BuildError::WorkerPanicked {
+            what: "codegen batch".into(),
+            message: "index out of bounds".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("codegen batch"), "{s}");
+        assert!(s.contains("index out of bounds"), "{s}");
     }
 }

@@ -1,10 +1,30 @@
-//! The phase executor: admission control plus a wall-clock model for
-//! distributed and workstation builds.
+//! The phase executor: admission control, a wall-clock model for
+//! distributed and workstation builds, and a deterministic local
+//! worker pool that executes the real work behind the modeled actions.
 
 use crate::{ActionSpec, BuildError, PhaseReport, GIB};
 use propeller_faults::{FaultInjector, FaultKind, RetryPolicy};
 use propeller_telemetry::{SpanId, Telemetry};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// The default worker count: one per available hardware thread.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Where a build's actions run.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -75,6 +95,22 @@ pub struct Executor {
     /// which retries them under `retry`.
     faults: Option<Arc<FaultInjector>>,
     retry: RetryPolicy,
+    /// Local worker-pool width for [`execute_indexed`]
+    /// (Executor::execute_indexed). `1` runs everything inline on the
+    /// calling thread (the exact legacy path); the default is one
+    /// worker per hardware thread.
+    jobs: usize,
+}
+
+/// Measured timing of one [`Executor::execute_indexed`] batch: real
+/// wall microseconds end to end, and useful-work microseconds summed
+/// across workers. Feeds [`PhaseReport::wall_us`] / `busy_us`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PoolStats {
+    /// Wall-clock microseconds for the whole batch.
+    pub wall_us: u64,
+    /// Work microseconds summed over all workers.
+    pub busy_us: u64,
 }
 
 /// Per-phase retry accounting from a resilient run, feeding the
@@ -90,9 +126,15 @@ pub struct ResilienceReport {
 }
 
 impl Executor {
-    /// Creates an executor for `machine` with no fault injection.
+    /// Creates an executor for `machine` with no fault injection and
+    /// the default worker-pool width ([`default_jobs`]).
     pub fn new(machine: MachineConfig) -> Self {
-        Executor { machine, faults: None, retry: RetryPolicy::default() }
+        Executor {
+            machine,
+            faults: None,
+            retry: RetryPolicy::default(),
+            jobs: default_jobs(),
+        }
     }
 
     /// Attaches a fault injector and the retry policy that absorbs the
@@ -101,6 +143,18 @@ impl Executor {
         self.faults = Some(faults);
         self.retry = retry;
         self
+    }
+
+    /// Sets the local worker-pool width (`--jobs`). `1` ⇒ the exact
+    /// serial legacy path; values are clamped to at least 1.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured worker-pool width.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The attached fault injector, if any.
@@ -116,6 +170,106 @@ impl Executor {
     /// The machine this executor schedules onto.
     pub fn machine(&self) -> MachineConfig {
         self.machine
+    }
+
+    /// Runs `f` over every item on the worker pool and returns the
+    /// results **in item order**, bit-identically to a serial loop.
+    ///
+    /// Determinism contract: `f(worker, index, &item)` must be a pure
+    /// function of `(index, item)` — the `worker` argument is a lane id
+    /// for telemetry only. Workers pull indices from a shared cursor
+    /// (dynamic load balancing), write each result into its slot, and
+    /// the slots are read back in index order; result order, and
+    /// therefore every downstream fold over the results, is independent
+    /// of thread interleaving. With `jobs == 1` (or one item) the items
+    /// run inline on the calling thread — the exact legacy path.
+    ///
+    /// # Errors
+    ///
+    /// A panic inside `f` is caught on the worker, the remaining items
+    /// still run, and the *lowest-index* panic surfaces as
+    /// [`BuildError::WorkerPanicked`] — a typed error, never a hang or
+    /// a propagated unwind.
+    pub fn execute_indexed<T, R, F>(
+        &self,
+        what: &str,
+        items: &[T],
+        f: F,
+    ) -> Result<(Vec<R>, PoolStats), BuildError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, usize, &T) -> R + Sync,
+    {
+        let start = Instant::now();
+        let workers = self.jobs.min(items.len()).max(1);
+        if workers == 1 {
+            let mut out = Vec::with_capacity(items.len());
+            let mut busy_us = 0u64;
+            for (i, item) in items.iter().enumerate() {
+                let t0 = Instant::now();
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| f(0, i, item)));
+                busy_us += t0.elapsed().as_micros() as u64;
+                match r {
+                    Ok(v) => out.push(v),
+                    Err(payload) => {
+                        return Err(BuildError::WorkerPanicked {
+                            what: what.to_string(),
+                            message: panic_message(&*payload),
+                        })
+                    }
+                }
+            }
+            let stats = PoolStats { wall_us: start.elapsed().as_micros() as u64, busy_us };
+            return Ok((out, stats));
+        }
+
+        let next = AtomicUsize::new(0);
+        let busy = AtomicU64::new(0);
+        let slots: parking_lot::Mutex<Vec<Option<std::thread::Result<R>>>> =
+            parking_lot::Mutex::new((0..items.len()).map(|_| None).collect());
+        let f = &f;
+        let (next_ref, busy_ref, slots_ref) = (&next, &busy, &slots);
+        crossbeam::thread::scope(|s| {
+            for w in 0..workers {
+                s.spawn(move |_| loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let t0 = Instant::now();
+                    // Catch the unwind *inside* the worker: a panicking
+                    // closure must not take the scope (and the caller)
+                    // down with it, and other workers keep draining.
+                    let r = std::panic::catch_unwind(AssertUnwindSafe(|| f(w, i, item)));
+                    busy_ref.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    slots_ref.lock()[i] = Some(r);
+                });
+            }
+        })
+        .expect("pool workers catch their own panics");
+
+        let mut out = Vec::with_capacity(items.len());
+        for (i, slot) in slots.into_inner().into_iter().enumerate() {
+            match slot {
+                Some(Ok(v)) => out.push(v),
+                Some(Err(payload)) => {
+                    return Err(BuildError::WorkerPanicked {
+                        what: what.to_string(),
+                        message: panic_message(&*payload),
+                    })
+                }
+                None => {
+                    return Err(BuildError::WorkerPanicked {
+                        what: what.to_string(),
+                        message: format!("slot {i} left unfilled"),
+                    })
+                }
+            }
+        }
+        let stats = PoolStats {
+            wall_us: start.elapsed().as_micros() as u64,
+            busy_us: busy.into_inner(),
+        };
+        Ok((out, stats))
     }
 
     /// Executes one phase of independent actions.
@@ -161,6 +315,10 @@ impl Executor {
                 .map(|a| a.peak_rss_bytes)
                 .max()
                 .unwrap_or(0),
+            // Modeled phases execute nothing locally; measured timing
+            // is merged in by callers that ran real work on the pool.
+            wall_us: 0,
+            busy_us: 0,
         })
     }
 
@@ -292,6 +450,8 @@ impl Executor {
             cpu_secs,
             num_actions: actions.len(),
             max_action_memory: actions.iter().map(|a| a.peak_rss_bytes).max().unwrap_or(0),
+            wall_us: 0,
+            busy_us: 0,
         };
         if tel.is_enabled() {
             tel.counter_add("executor.actions", actions.len() as u64);
@@ -491,5 +651,79 @@ mod tests {
         assert!(ex
             .run_phase(&[ActionSpec::new("edge", 1.0, 12 * GIB)])
             .is_ok());
+    }
+
+    #[test]
+    fn pool_results_are_in_item_order_at_any_width() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = Executor::new(MachineConfig::distributed()).with_jobs(1);
+        let (expect, _) = serial
+            .execute_indexed("square", &items, |_, i, &x| (i as u64, x * x))
+            .unwrap();
+        for jobs in [2, 3, 8] {
+            let ex = Executor::new(MachineConfig::distributed()).with_jobs(jobs);
+            let (got, stats) = ex
+                .execute_indexed("square", &items, |_, i, &x| (i as u64, x * x))
+                .unwrap();
+            assert_eq!(got, expect, "jobs={jobs}");
+            assert!(stats.wall_us > 0 || stats.busy_us == 0);
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_and_single_item_batches() {
+        let ex = Executor::new(MachineConfig::distributed()).with_jobs(8);
+        let (empty, _) = ex.execute_indexed("noop", &[] as &[u32], |_, _, &x| x).unwrap();
+        assert!(empty.is_empty());
+        let (one, _) = ex.execute_indexed("one", &[7u32], |w, _, &x| (w, x)).unwrap();
+        // A single item runs inline on the calling thread as worker 0.
+        assert_eq!(one, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn panicked_worker_surfaces_as_typed_error_not_a_hang() {
+        for jobs in [1, 4] {
+            let ex = Executor::new(MachineConfig::distributed()).with_jobs(jobs);
+            let items: Vec<u32> = (0..32).collect();
+            let err = ex
+                .execute_indexed("flaky batch", &items, |_, _, &x| {
+                    if x == 13 {
+                        panic!("unlucky item {x}");
+                    }
+                    x
+                })
+                .unwrap_err();
+            match err {
+                BuildError::WorkerPanicked { what, message } => {
+                    assert_eq!(what, "flaky batch");
+                    assert!(message.contains("unlucky item 13"), "{message}");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_regardless_of_interleaving() {
+        let ex = Executor::new(MachineConfig::distributed()).with_jobs(8);
+        let items: Vec<u32> = (0..64).collect();
+        let err = ex
+            .execute_indexed("double panic", &items, |_, _, &x| {
+                if x == 9 || x == 40 {
+                    panic!("item {x}");
+                }
+                x
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::WorkerPanicked { ref message, .. } if message.contains("item 9")
+        ));
+    }
+
+    #[test]
+    fn with_jobs_clamps_to_one() {
+        let ex = Executor::new(MachineConfig::distributed()).with_jobs(0);
+        assert_eq!(ex.jobs(), 1);
     }
 }

@@ -52,7 +52,7 @@ pub use action::{ActionSpec, PhaseReport};
 pub use cache::{ActionCache, CacheEvent, CacheStats};
 pub use cost::CostModel;
 pub use error::BuildError;
-pub use executor::{Executor, MachineConfig, ResilienceReport};
+pub use executor::{default_jobs, Executor, MachineConfig, PoolStats, ResilienceReport};
 pub use meter::{MemoryMeter, MeteredSize};
 
 /// One gibibyte, the unit of the paper's per-action memory limits.

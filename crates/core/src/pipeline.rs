@@ -6,7 +6,7 @@ use crate::report::{EvalReport, PhaseTimes, PropellerReport};
 use parking_lot::Mutex;
 use propeller_buildsys::{
     ActionCache, ActionSpec, CacheEvent, CostModel, Executor, MachineConfig, PhaseReport,
-    ResilienceReport,
+    PoolStats, ResilienceReport,
 };
 use propeller_codegen::{
     codegen_module_traced, CodegenError, CodegenOptions, CodegenResult, FunctionClusters,
@@ -24,6 +24,15 @@ use propeller_sim::{simulate_traced, CounterSet, ProgramImage, SimOptions, Uarch
 use propeller_telemetry::{SpanId, Telemetry};
 use propeller_wpa::{apply_prefetches, prefetch_directives, run_wpa_traced, WpaOptions, WpaOutput};
 use std::sync::Arc;
+
+/// What [`Propeller::codegen_batch`] hands back: artifacts in plan
+/// order, the action specs for the misses, and the pool's measured
+/// timing.
+type CodegenBatch = (Vec<Arc<CodegenResult>>, Vec<ActionSpec>, PoolStats);
+
+/// One cache miss computed on the worker pool: its submission-order
+/// plan position, its cache key, and the codegen outcome.
+type ComputedModule = (usize, ContentHash, Result<Arc<CodegenResult>, CodegenError>);
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -67,6 +76,12 @@ pub struct PropellerOptions {
     /// Attribute the Phase 3 profiling run's events to symbols and
     /// blocks (the `perf report` view); off by default.
     pub attribution: bool,
+    /// Worker threads for real local work: the codegen fan-out of
+    /// Phases 2/4 and the Ext-TSP gain evaluation. Defaults to the
+    /// machine's available parallelism; `1` forces the exact serial
+    /// legacy path. Every output is bit-identical at every value —
+    /// results are always reduced in submission order.
+    pub jobs: usize,
 }
 
 impl Default for PropellerOptions {
@@ -85,6 +100,7 @@ impl Default for PropellerOptions {
             profile_floor: 0.25,
             heatmap: None,
             attribution: false,
+            jobs: propeller_buildsys::default_jobs(),
         }
     }
 }
@@ -195,12 +211,16 @@ impl Propeller {
         opts: PropellerOptions,
         caches: BuildCaches,
     ) -> Self {
+        let mut opts = opts;
+        // One knob drives every parallel stage: the Ext-TSP gain
+        // evaluation honors the same worker count as the codegen pool.
+        opts.wpa.exttsp.jobs = opts.jobs;
         let injector = if opts.faults.is_none() {
             None
         } else {
             Some(Arc::new(FaultInjector::new(opts.faults.clone(), opts.seed)))
         };
-        let mut executor = Executor::new(opts.machine);
+        let mut executor = Executor::new(opts.machine).with_jobs(opts.jobs);
         if let Some(inj) = &injector {
             executor = executor.with_faults(inj.clone(), opts.retry);
         }
@@ -399,14 +419,14 @@ impl Propeller {
     /// actions of Phases 2 and 4 are independent by construction).
     ///
     /// `plan` is `(module index, cache key, options)` per module, in
-    /// link order; returns the artifacts in the same order plus the
-    /// action specs for the misses.
+    /// link order; returns the artifacts in the same order, the action
+    /// specs for the misses, and the pool's measured timing.
     fn codegen_batch(
         &mut self,
         program: &Program,
         plan: Vec<(usize, ContentHash, Arc<CodegenOptions>)>,
         parent: Option<SpanId>,
-    ) -> Result<(Vec<Arc<CodegenResult>>, Vec<ActionSpec>), PipelineError> {
+    ) -> Result<CodegenBatch, PipelineError> {
         let mut artifacts: Vec<Option<Arc<CodegenResult>>> = vec![None; plan.len()];
         let mut misses: Vec<(usize, ContentHash, Arc<CodegenOptions>)> = Vec::new();
         let injector = self.injector.clone();
@@ -435,56 +455,25 @@ impl Propeller {
         let modules = program.modules();
         // Workers record their spans under the caller's phase span via
         // the explicit parent — thread-local nesting does not cross the
-        // scope boundary.
+        // pool boundary — and stamp their lane id so Chrome traces show
+        // one row per worker. The pool writes each result into its
+        // submission-order slot and hands the slots back in that order,
+        // so the fold below (cache inserts, action list, f64 cost sums)
+        // is identical no matter how threads interleave; `jobs == 1`
+        // runs the items inline, the exact legacy path.
         let tel = self.tel.clone();
-        let computed: Vec<(usize, ContentHash, Result<Arc<CodegenResult>, CodegenError>)> =
-            if misses.len() <= 1 {
-                misses
-                    .iter()
-                    .map(|(pos, key, cg)| {
-                        let module_idx = plan[*pos].0;
-                        (
-                            *pos,
-                            *key,
-                            codegen_module_traced(&modules[module_idx], program, cg, &tel, parent)
-                                .map(Arc::new),
-                        )
+        let plan_ref = &plan;
+        let (computed, pool): (Vec<ComputedModule>, PoolStats) = self
+            .executor
+            .execute_indexed("codegen batch", &misses, |w, _i, (pos, key, cg)| {
+                let module_idx = plan_ref[*pos].0;
+                let r = tel
+                    .with_worker(w as u64, || {
+                        codegen_module_traced(&modules[module_idx], program, cg, &tel, parent)
                     })
-                    .collect()
-            } else {
-                let results = Mutex::new(Vec::with_capacity(misses.len()));
-                let next = std::sync::atomic::AtomicUsize::new(0);
-                let workers = std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(4)
-                    .min(misses.len());
-                crossbeam::thread::scope(|s| {
-                    for _ in 0..workers {
-                        s.spawn(|_| loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            let Some((pos, key, cg)) = misses.get(i) else {
-                                break;
-                            };
-                            let module_idx = plan[*pos].0;
-                            let r = codegen_module_traced(
-                                &modules[module_idx],
-                                program,
-                                cg,
-                                &tel,
-                                parent,
-                            )
-                            .map(Arc::new);
-                            results.lock().push((*pos, *key, r));
-                        });
-                    }
-                })
-                // Infallible: `scope` only errors when a child thread
-                // panicked, and the workers return codegen failures as
-                // values instead of panicking; a panic here is a bug
-                // worth propagating loudly.
-                .expect("codegen workers do not panic");
-                results.into_inner()
-            };
+                    .map(Arc::new);
+                (*pos, *key, r)
+            })?;
 
         let cost = self.opts.cost;
         let mut actions = Vec::with_capacity(computed.len());
@@ -516,7 +505,7 @@ impl Propeller {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok((artifacts, actions))
+        Ok((artifacts, actions, pool))
     }
 
     /// Phase 2: code-generate every module with BB address map
@@ -536,7 +525,7 @@ impl Propeller {
             .map(|i| (i, self.fingerprints[i].combine(tag("labels")), cg.clone()))
             .collect();
         let program = self.program.clone();
-        let (artifacts, actions) = self.codegen_batch(&program, plan, span_id)?;
+        let (artifacts, actions, pool) = self.codegen_batch(&program, plan, span_id)?;
         let inputs: Vec<LinkInput> = artifacts
             .iter()
             .map(|a| LinkInput::new(a.object.clone(), a.debug_layout.clone()))
@@ -565,6 +554,10 @@ impl Propeller {
         )?;
         self.absorb_resilience(res);
         self.times.phase2 = codegen_phase.then(&link_phase);
+        // Measured pool timing rides in PhaseReport only — never the
+        // run report, whose bytes must not depend on real clocks.
+        self.times.phase2.wall_us = pool.wall_us;
+        self.times.phase2.busy_us = pool.busy_us;
         span.set_sim_secs(self.times.phase2.wall_secs);
         span.set_peak_bytes(self.times.phase2.max_action_memory);
         self.pm_binary = Some(Arc::new(bin));
@@ -760,7 +753,8 @@ impl Propeller {
             plan.push((i, key, cg));
         }
         self.hot_module_fraction = hot_modules as f64 / self.program.num_modules().max(1) as f64;
-        let (artifacts, mut actions) = self.codegen_batch(&phase4_program.clone(), plan, span_id)?;
+        let (artifacts, mut actions, pool) =
+            self.codegen_batch(&phase4_program.clone(), plan, span_id)?;
         actions.append(&mut failed_actions);
         let inputs: Vec<LinkInput> = artifacts
             .iter()
@@ -793,6 +787,8 @@ impl Propeller {
         )?;
         self.absorb_resilience(res);
         self.times.phase4 = codegen_phase.then(&link_phase);
+        self.times.phase4.wall_us = pool.wall_us;
+        self.times.phase4.busy_us = pool.busy_us;
         span.set_sim_secs(self.times.phase4.wall_secs);
         span.set_peak_bytes(self.times.phase4.max_action_memory);
         self.po_binary = Some(Arc::new(bin));
@@ -832,7 +828,7 @@ impl Propeller {
             self.ledger.record_metrics(&self.tel, "faults");
         }
         Ok(PropellerReport {
-            times: self.times,
+            times: self.times.modeled_only(),
             ir_cache: self.caches.ir_stats(),
             object_cache: self.caches.object_stats(),
             hot_module_fraction: self.hot_module_fraction,
@@ -863,7 +859,7 @@ impl Propeller {
             .map(|i| (i, self.fingerprints[i].combine(tag("baseline")), cg.clone()))
             .collect();
         let program = self.program.clone();
-        let (artifacts, _) = self.codegen_batch(&program, plan, span_id)?;
+        let (artifacts, _, _) = self.codegen_batch(&program, plan, span_id)?;
         let inputs: Vec<LinkInput> = artifacts
             .iter()
             .map(|a| LinkInput::new(a.object.clone(), a.debug_layout.clone()))

@@ -23,6 +23,26 @@ impl PhaseTimes {
     pub fn total_wall_secs(&self) -> f64 {
         self.phase1.wall_secs + self.phase2.wall_secs + self.phase3.wall_secs + self.phase4.wall_secs
     }
+
+    /// These times with the *measured* pool timings (`wall_us`,
+    /// `busy_us`) zeroed — the deterministic view [`PropellerReport`]
+    /// embeds. Measured wall-clock differs between identical runs, so
+    /// it must never participate in replay equality or serialized
+    /// reports; it stays on [`crate::Propeller::times`] for the doctor
+    /// and human-facing output.
+    pub fn modeled_only(&self) -> PhaseTimes {
+        let strip = |mut p: PhaseReport| {
+            p.wall_us = 0;
+            p.busy_us = 0;
+            p
+        };
+        PhaseTimes {
+            phase1: strip(self.phase1),
+            phase2: strip(self.phase2),
+            phase3: strip(self.phase3),
+            phase4: strip(self.phase4),
+        }
+    }
 }
 
 /// The summary a [`crate::Propeller::run_all`] invocation returns.

@@ -65,6 +65,12 @@ pub struct DoctorConfig {
     pub skew_warn: f64,
     /// Skew score above this fails (default 0.70).
     pub skew_fail: f64,
+    /// Measured-wall-vs-pool-model divergence ratio above this warns
+    /// (default 5.0): a phase whose real wall clock exceeds 5× the
+    /// `busy/jobs` prediction at the configured job count is not
+    /// getting the parallelism it was asked for (oversubscribed
+    /// machine, serialized work, or lock contention).
+    pub wall_divergence_warn: f64,
 }
 
 impl Default for DoctorConfig {
@@ -79,6 +85,7 @@ impl Default for DoctorConfig {
             capture_fail: 0.50,
             skew_warn: 0.40,
             skew_fail: 0.70,
+            wall_divergence_warn: 5.0,
         }
     }
 }
@@ -248,6 +255,66 @@ pub fn degradation_findings(ledger: &DegradationLedger) -> Vec<Finding> {
     out
 }
 
+/// Audits measured wall-clock against the worker-pool model: for each
+/// phase that ran real local work, `wall × jobs / busy` says how far
+/// the real clock diverged from the `wall ≈ busy/jobs` prediction.
+/// Ratios above [`DoctorConfig::wall_divergence_warn`] WARN — the run
+/// was correct (modeled times and reports are clock-independent) but
+/// the machine did not deliver the parallelism `--jobs` asked for.
+/// Phases that measured nothing (modeled-only, or all cache hits) get
+/// a single OK finding.
+pub fn wall_clock_findings(times: &propeller::PhaseTimes, jobs: usize) -> Vec<Finding> {
+    wall_clock_findings_with(times, jobs, &DoctorConfig::default())
+}
+
+/// [`wall_clock_findings`] with explicit thresholds.
+pub fn wall_clock_findings_with(
+    times: &propeller::PhaseTimes,
+    jobs: usize,
+    cfg: &DoctorConfig,
+) -> Vec<Finding> {
+    let phases = [
+        ("phase1", &times.phase1),
+        ("phase2", &times.phase2),
+        ("phase3", &times.phase3),
+        ("phase4", &times.phase4),
+    ];
+    let mut out = Vec::new();
+    for (name, report) in phases {
+        let Some(divergence) = report.wall_model_divergence(jobs) else {
+            continue;
+        };
+        let severity = if divergence > cfg.wall_divergence_warn {
+            Severity::Warn
+        } else {
+            Severity::Ok
+        };
+        out.push(Finding {
+            severity,
+            metric: format!("wall.{name}_model_divergence"),
+            value: divergence,
+            message: format!(
+                "{name} measured {} µs wall for {} µs of work at --jobs {jobs} \
+                 ({:.0}% parallel efficiency; model predicts ~{} µs)",
+                report.wall_us,
+                report.busy_us,
+                report.parallel_efficiency(jobs).unwrap_or(0.0) * 100.0,
+                report.busy_us / jobs.max(1) as u64,
+            ),
+        });
+    }
+    if out.is_empty() {
+        out.push(Finding {
+            severity: Severity::Ok,
+            metric: "wall.unmeasured".into(),
+            value: 0.0,
+            message: "no phase measured real pool work (modeled-only run or all cache hits)"
+                .into(),
+        });
+    }
+    out
+}
+
 /// The worst severity across findings ([`Severity::Ok`] when empty).
 pub fn worst(findings: &[Finding]) -> Severity {
     findings
@@ -302,6 +369,33 @@ mod tests {
             expected_samples: 100,
             skew: Some(0.02),
         }
+    }
+
+    #[test]
+    fn wall_clock_divergence_warns_above_five_x() {
+        let mut times = propeller::PhaseTimes::default();
+        // Healthy: 8000 µs of work over 1100 µs wall on 8 jobs ≈ 1.1×.
+        times.phase2.wall_us = 1100;
+        times.phase2.busy_us = 8000;
+        // Pathological: 8000 µs of work took 8000 µs wall on 8 jobs
+        // (fully serialized) — 8× divergence.
+        times.phase4.wall_us = 8000;
+        times.phase4.busy_us = 8000;
+        let f = wall_clock_findings(&times, 8);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].severity, Severity::Ok, "{f:?}");
+        assert!(f[0].metric.contains("phase2"));
+        assert_eq!(f[1].severity, Severity::Warn, "{f:?}");
+        assert!(f[1].metric.contains("phase4"));
+        assert!((f[1].value - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmeasured_run_reports_single_ok() {
+        let f = wall_clock_findings(&propeller::PhaseTimes::default(), 8);
+        assert_eq!(f.len(), 1);
+        assert_eq!(worst(&f), Severity::Ok);
+        assert!(f[0].metric.contains("unmeasured"));
     }
 
     #[test]

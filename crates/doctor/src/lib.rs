@@ -38,7 +38,8 @@ pub use audit::{
 };
 pub use diff::{diff_reports, direction_of, DiffReport, Direction, LayoutChange, MetricDelta};
 pub use doctor::{
-    degradation_findings, diagnose, render, worst, DoctorConfig, Finding, Severity,
+    degradation_findings, diagnose, render, wall_clock_findings, wall_clock_findings_with, worst,
+    DoctorConfig, Finding, Severity,
 };
 pub use perf::{render_annotate, render_perf_report, AttributionSection, SymbolCounters};
 pub use report::RunReport;

@@ -374,6 +374,10 @@ fn emit_section(
     let obj_name = &inputs[sec.obj_idx].object.name;
     // The image covers [base, image_end); translate by the smallest
     // loaded address, which is the link base.
+    //
+    // Infallible: `emit_section` is only called with the index of a
+    // loaded section (the caller iterates the loaded set), so the
+    // filtered iterator contains at least `secs[idx]` itself.
     let min_addr = secs
         .iter()
         .filter(|s| s.kind.is_loaded())

@@ -121,6 +121,21 @@ pub(crate) fn parse_sites(section: &Section) -> Result<Vec<Site>, LinkError> {
             continue;
         }
         let off = r.offset as usize;
+        // A relocation pointing past the section would make the opcode
+        // peeks below index out of bounds — corrupt metadata must
+        // surface as a typed error, not a panic.
+        if off > section.bytes.len() {
+            return Err(LinkError::BadMetadata {
+                object: section.name.clone(),
+                detail: format!(
+                    "branch relocation at {} points outside the {}-byte section",
+                    r.offset,
+                    section.bytes.len()
+                ),
+            });
+        }
+        // In-bounds by the check above: `off - 1`/`off - 2` < `off`
+        // ≤ `bytes.len()`.
         let site = if off >= 1 && section.bytes[off - 1] == op::JMP_LONG {
             Site {
                 inst_start: r.offset - 1,
@@ -446,6 +461,23 @@ mod tests {
             parse_sites(&sec),
             Err(LinkError::BadMetadata { .. })
         ));
+    }
+
+    #[test]
+    fn parse_sites_rejects_out_of_bounds_reloc_without_panicking() {
+        // A relocation offset past the section bytes used to index out
+        // of bounds; it must come back as typed corrupt-metadata.
+        for off in [9u32, 100, u32::MAX] {
+            let mut sec = Section::new(".text.x", SectionKind::Text, vec![0u8; 8]);
+            sec.relocs.push(Reloc::new(off, RelocKind::BranchPc32, "a", 0));
+            let err = parse_sites(&sec).unwrap_err();
+            match err {
+                LinkError::BadMetadata { detail, .. } => {
+                    assert!(detail.contains("outside"), "{detail}");
+                }
+                other => panic!("expected BadMetadata, got {other:?}"),
+            }
+        }
     }
 
     #[test]

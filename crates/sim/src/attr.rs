@@ -314,6 +314,8 @@ impl AttrSink {
         let dc = cur.1 - prev.1;
         if dc > 0.0 {
             slot.cycles_f += dc;
+            // Lossless: `f` is a dense image index and
+            // `ProgramImage::build` caps the function count at u32::MAX.
             let mut key: Vec<u32> = chain.to_vec();
             if key.last() != Some(&(f as u32)) {
                 key.push(f as u32);

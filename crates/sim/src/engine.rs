@@ -341,6 +341,8 @@ pub fn simulate(
                 call_idx: 0,
                 entered: false,
             });
+            // Lossless: `ProgramImage::build` rejects programs whose
+            // function count exceeds u32::MAX.
             call_chain.push(chosen as u32);
         }
         let top = stack.last_mut().expect("nonempty");

@@ -90,6 +90,12 @@ pub enum ImageError {
         /// The leftover byte count.
         bytes: i64,
     },
+    /// The program has more functions than the image's dense `u32`
+    /// indices (call targets, prefetch targets, call chains) can name.
+    TooManyFunctions {
+        /// How many functions the program has.
+        count: usize,
+    },
 }
 
 impl fmt::Display for ImageError {
@@ -106,6 +112,10 @@ impl fmt::Display for ImageError {
             } => write!(
                 f,
                 "block bb{block} of {function} has {bytes} leftover branch bytes"
+            ),
+            ImageError::TooManyFunctions { count } => write!(
+                f,
+                "program has {count} functions but image indices are u32"
             ),
         }
     }
@@ -156,6 +166,15 @@ impl ProgramImage {
         for (i, f) in program.functions().enumerate() {
             fn_index.insert(f.id, i);
         }
+        // Validate the width once at the boundary: every dense function
+        // index below (call/prefetch targets here, call-chain entries
+        // in the engine and attribution) is stored as `u32`, so the
+        // `as u32` narrowings downstream are lossless by construction.
+        if u32::try_from(fn_index.len()).is_err() {
+            return Err(ImageError::TooManyFunctions {
+                count: fn_index.len(),
+            });
+        }
 
         let mut functions = Vec::with_capacity(fn_index.len());
         let mut text_start = u64::MAX;
@@ -181,6 +200,8 @@ impl ProgramImage {
                 let mut straight = 0u32;
                 for inst in &b.insts {
                     match inst {
+                        // Lossless: the function count was checked
+                        // against u32::MAX above.
                         Inst::Call(callee) => calls.push((off, fn_index[callee] as u32)),
                         Inst::Prefetch(target) => prefetches.push(fn_index[target] as u32),
                         _ => {}

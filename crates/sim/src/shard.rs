@@ -1,0 +1,233 @@
+//! Sharded trace simulation.
+//!
+//! The sequential walk in [`crate::simulate`] threads one cache/RNG/
+//! call-stack state through every executed block, so it cannot be
+//! parallelized without changing its answer. What *can* be split is
+//! the workload itself: `shards > 1` decomposes the block budget into
+//! independent per-shard streams — each a complete simulation over the
+//! same image with its own derived seed — and merges the results under
+//! a conservation discipline: shard budgets sum to the total budget,
+//! counters sum field-wise, and LBR samples concatenate, always in
+//! shard order. The merged result is a function of `(workload, shard
+//! count)` only, never of which thread ran which shard.
+//!
+//! `shards == 1` is byte-identical to [`crate::simulate`] — the exact
+//! legacy path, taken by the pipeline's profiling run so that
+//! `run_report.json` stays independent of every parallelism knob.
+
+use crate::config::{UarchConfig, Workload};
+use crate::counters::SimReport;
+use crate::engine::{simulate, SimOptions};
+use crate::image::ProgramImage;
+use crate::rng::SplitMix64;
+use propeller_profile::HardwareProfile;
+
+/// Splits `total` into `shards` budgets that sum to exactly `total`:
+/// the first `total % shards` shards carry one extra block.
+pub fn shard_budgets(total: u64, shards: usize) -> Vec<u64> {
+    let shards = shards.max(1) as u64;
+    let base = total / shards;
+    let extra = total % shards;
+    (0..shards)
+        .map(|i| base + u64::from(i < extra))
+        .collect()
+}
+
+/// Derives one independent RNG seed per shard from the workload seed.
+/// Shard 0 keeps the original seed, so a single shard replays the
+/// unsharded stream exactly; later shards draw fresh SplitMix64 states.
+pub fn shard_seeds(seed: u64, shards: usize) -> Vec<u64> {
+    let mut gen = SplitMix64::new(seed);
+    (0..shards.max(1))
+        .map(|i| if i == 0 { seed } else { gen.next_u64() })
+        .collect()
+}
+
+/// Runs `workload` as `shards` independent per-shard streams (at most
+/// `jobs` of them concurrently) and merges the results in shard order.
+///
+/// Counters sum field-wise and the profiles' samples concatenate — both
+/// merges are exact, so the output depends only on the shard count,
+/// not on thread scheduling. Heat-map and attribution collection have
+/// no shard-merge discipline (their sinks are stateful across the whole
+/// stream), so a request for either falls back to the single-stream
+/// walk; call-miss maps merge by summing per-site counts.
+///
+/// # Panics
+///
+/// Same as [`simulate`].
+pub fn simulate_sharded(
+    image: &ProgramImage,
+    workload: &Workload,
+    uarch: &UarchConfig,
+    opts: &SimOptions,
+    shards: usize,
+    jobs: usize,
+) -> SimReport {
+    if shards <= 1 || opts.heatmap.is_some() || opts.attribution {
+        return simulate(image, workload, uarch, opts);
+    }
+    let budgets = shard_budgets(workload.block_budget, shards);
+    let seeds = shard_seeds(workload.seed, shards);
+    let shard_loads: Vec<Workload> = budgets
+        .iter()
+        .zip(&seeds)
+        .map(|(&budget, &seed)| {
+            let mut w = workload.clone();
+            w.block_budget = budget;
+            w.seed = seed;
+            w
+        })
+        .collect();
+
+    // Contiguous chunks of the shard list per worker; per-chunk result
+    // vectors concatenate in chunk order, so the merged stream order is
+    // the shard order no matter how the threads interleave.
+    let jobs = jobs.max(1).min(shard_loads.len());
+    let reports: Vec<SimReport> = if jobs == 1 {
+        shard_loads
+            .iter()
+            .map(|w| simulate(image, w, uarch, opts))
+            .collect()
+    } else {
+        let chunk = shard_loads.len().div_ceil(jobs);
+        let mut out = Vec::with_capacity(shard_loads.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = shard_loads
+                .chunks(chunk)
+                .map(|c| {
+                    s.spawn(move || {
+                        c.iter()
+                            .map(|w| simulate(image, w, uarch, opts))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("shard simulation does not panic"));
+            }
+        });
+        out
+    };
+
+    let mut merged = SimReport::default();
+    let mut profile = opts
+        .sampling
+        .is_some()
+        .then(|| HardwareProfile::new("simulated-binary"));
+    let mut call_misses = opts
+        .collect_call_misses
+        .then(std::collections::HashMap::new);
+    for r in reports {
+        merged.counters = merged.counters.merged_with(&r.counters);
+        if let (Some(p), Some(rp)) = (profile.as_mut(), r.profile) {
+            p.samples.extend(rp.samples);
+        }
+        if let (Some(m), Some(rm)) = (call_misses.as_mut(), r.call_misses) {
+            for (site, n) in rm {
+                *m.entry(site).or_insert(0) += n;
+            }
+        }
+    }
+    merged.profile = profile;
+    merged.call_misses = call_misses;
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_image() -> ProgramImage {
+        use propeller_codegen::{codegen_module, CodegenOptions};
+        use propeller_ir::{BlockId, FunctionBuilder, Inst, ProgramBuilder, Terminator};
+        use propeller_linker::{link, LinkInput, LinkOptions};
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m.cc");
+        let mut f = FunctionBuilder::new("f");
+        let entry = f.add_block(
+            vec![Inst::Alu; 4],
+            Terminator::CondBr {
+                taken: BlockId(1),
+                fallthrough: BlockId(2),
+                prob_taken: 0.7,
+            },
+        );
+        let hot = f.add_block(vec![Inst::Alu; 3], Terminator::Jump(BlockId(3)));
+        let cold = f.add_block(vec![Inst::Store; 2], Terminator::Jump(BlockId(3)));
+        let exit = f.add_block(vec![Inst::Alu], Terminator::Ret);
+        f.set_block_freq(entry, 100);
+        f.set_block_freq(hot, 70);
+        f.set_block_freq(cold, 30);
+        f.set_block_freq(exit, 100);
+        pb.add_function(m, f);
+        let p = pb.finish().expect("program builds");
+        let inputs: Vec<LinkInput> = p
+            .modules()
+            .iter()
+            .map(|m| {
+                let r = codegen_module(m, &p, &CodegenOptions::baseline()).expect("codegen");
+                LinkInput::new(r.object, r.debug_layout)
+            })
+            .collect();
+        let bin = link(&inputs, &LinkOptions::default()).expect("link");
+        ProgramImage::build(&p, &bin.layout).expect("image builds")
+    }
+
+    #[test]
+    fn budgets_conserve_total_and_balance() {
+        assert_eq!(shard_budgets(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(shard_budgets(10, 4).iter().sum::<u64>(), 10);
+        assert_eq!(shard_budgets(3, 8).iter().sum::<u64>(), 3);
+        assert_eq!(shard_budgets(0, 5).iter().sum::<u64>(), 0);
+        assert_eq!(shard_budgets(7, 1), vec![7]);
+    }
+
+    #[test]
+    fn seeds_keep_shard_zero_on_the_legacy_stream() {
+        let s = shard_seeds(0x5eed, 4);
+        assert_eq!(s[0], 0x5eed);
+        assert_eq!(s.len(), 4);
+        // Derived seeds are distinct from each other and the original.
+        let mut uniq: Vec<u64> = s.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "{s:?}");
+        // And deterministic.
+        assert_eq!(s, shard_seeds(0x5eed, 4));
+    }
+
+    #[test]
+    fn one_shard_is_bitwise_the_legacy_walk() {
+        let image = tiny_image();
+        let w = Workload::new(vec![(propeller_ir::FunctionId(0), 1.0)], 500);
+        let opts = SimOptions {
+            sampling: Some(Default::default()),
+            collect_call_misses: true,
+            ..SimOptions::default()
+        };
+        let a = simulate(&image, &w, &UarchConfig::default(), &opts);
+        let b = simulate_sharded(&image, &w, &UarchConfig::default(), &opts, 1, 8);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(
+            a.profile.as_ref().map(|p| p.samples.len()),
+            b.profile.as_ref().map(|p| p.samples.len())
+        );
+        assert_eq!(a.call_misses, b.call_misses);
+    }
+
+    #[test]
+    fn sharded_walk_conserves_the_block_budget_and_is_thread_invariant() {
+        let image = tiny_image();
+        let w = Workload::new(vec![(propeller_ir::FunctionId(0), 1.0)], 1000);
+        let opts = SimOptions::default();
+        let uarch = UarchConfig::default();
+        let serial = simulate_sharded(&image, &w, &uarch, &opts, 4, 1);
+        assert_eq!(serial.counters.blocks, 1000, "budget conserved");
+        // Same shard count at any worker count: identical merge.
+        for jobs in [2, 4, 8] {
+            let parallel = simulate_sharded(&image, &w, &uarch, &opts, 4, jobs);
+            assert_eq!(serial.counters, parallel.counters, "jobs={jobs}");
+        }
+    }
+}

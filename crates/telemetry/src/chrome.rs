@@ -14,21 +14,28 @@
 use crate::json::{escape_json, json_f64};
 use crate::{SpanRecord, TraceData};
 
+/// Lane offset for worker-pool spans: worker `w` renders on tid
+/// `WORKER_LANE_BASE + w`, separating pool lanes from plain thread
+/// lanes even when the OS reuses threads across phases.
+const WORKER_LANE_BASE: u64 = 1000;
+
 fn span_event(s: &SpanRecord) -> String {
     format!(
         "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\
-         \"args\":{{\"span_id\":{},\"parent_id\":{},\"sim_secs\":{},\"peak_bytes\":{}}}}}",
+         \"args\":{{\"span_id\":{},\"parent_id\":{},\"sim_secs\":{},\"peak_bytes\":{},\
+         \"worker\":{}}}}}",
         escape_json(&s.name),
         if s.dur_us == 0 { "action" } else { "span" },
         s.start_us,
         // chrome://tracing hides true zero-width events; give modeled
         // actions a 1us sliver so they stay visible.
         s.dur_us.max(1),
-        s.thread,
+        s.worker.map_or(s.thread, |w| WORKER_LANE_BASE + w),
         s.id.0,
         s.parent.map_or("null".to_string(), |p| p.0.to_string()),
         json_f64(s.sim_secs),
         s.peak_bytes,
+        s.worker.map_or("null".to_string(), |w| w.to_string()),
     )
 }
 
@@ -41,6 +48,16 @@ pub fn to_chrome_trace(trace: &TraceData) -> String {
          \"args\":{\"name\":\"propeller\"}}"
             .to_string(),
     );
+    let mut workers: Vec<u64> = trace.spans.iter().filter_map(|s| s.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for w in workers {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"worker {w}\"}}}}",
+            WORKER_LANE_BASE + w,
+        ));
+    }
     for s in &trace.spans {
         events.push(span_event(s));
     }
@@ -205,6 +222,19 @@ mod tests {
     fn empty_trace_is_valid() {
         let json = to_chrome_trace(&Telemetry::enabled().drain());
         check_json(&json).expect("valid JSON");
+    }
+
+    #[test]
+    fn worker_spans_land_on_named_lanes() {
+        let tel = Telemetry::enabled();
+        tel.with_worker(2, || {
+            let _s = tel.span("pooled work");
+        });
+        let json = to_chrome_trace(&tel.drain());
+        check_json(&json).expect("valid JSON");
+        assert!(json.contains("\"tid\":1002"));
+        assert!(json.contains("worker 2"));
+        assert!(json.contains("\"worker\":2"));
     }
 
 }

@@ -50,7 +50,7 @@ pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS
 pub use span::{Span, SpanId, SpanRecord};
 
 use parking_lot::Mutex;
-use span::{current_parent, pop_current, push_current};
+use span::{current_parent, current_worker, pop_current, push_current, set_current_worker};
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -203,8 +203,21 @@ impl Telemetry {
             dur_us: 0,
             sim_secs,
             peak_bytes,
+            worker: current_worker(),
         });
         Some(id)
+    }
+
+    /// Runs `f` with this thread's worker-pool lane set to `worker`:
+    /// every span recorded inside (via any handle) carries the lane id,
+    /// so Chrome traces show which pool slot did the work. The previous
+    /// lane (usually none) is restored on exit. Works on disabled
+    /// handles too — the stamp is thread-local, not handle state.
+    pub fn with_worker<R>(&self, worker: u64, f: impl FnOnce() -> R) -> R {
+        let prev = set_current_worker(Some(worker));
+        let r = f();
+        set_current_worker(prev);
+        r
     }
 
     /// Adds `n` to the monotonic counter `name`.
@@ -273,6 +286,7 @@ impl Drop for Span {
             dur_us: end.saturating_sub(live.start_us),
             sim_secs: live.sim_secs,
             peak_bytes: live.peak_bytes,
+            worker: live.worker,
         });
     }
 }
@@ -419,6 +433,21 @@ mod tests {
         assert_eq!(m.counters["n"], 24);
         assert_eq!(m.histograms["h"].count(), 8);
         assert!((m.gauges["g"] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_worker_stamps_spans_and_restores() {
+        let tel = Telemetry::enabled();
+        tel.with_worker(3, || {
+            let _s = tel.span("pooled");
+            tel.emit_span("pooled action", None, 1.0, 0);
+        });
+        let _outside = tel.span("unpooled");
+        drop(_outside);
+        let t = tel.drain();
+        assert_eq!(t.find("pooled").unwrap().worker, Some(3));
+        assert_eq!(t.find("pooled action").unwrap().worker, Some(3));
+        assert_eq!(t.find("unpooled").unwrap().worker, None);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct SpanRecord {
     /// Peak bytes attributed to this span (e.g. a `MemoryMeter` high
     /// water mark or an action's declared peak RSS).
     pub peak_bytes: u64,
+    /// Worker-pool lane that recorded this span, when the recording
+    /// code ran under [`crate::Telemetry::with_worker`]. Chrome traces
+    /// use it as the lane id so pool concurrency is visible even when
+    /// OS threads are reused across phases.
+    pub worker: Option<u64>,
 }
 
 pub(crate) struct LiveSpan {
@@ -42,6 +47,7 @@ pub(crate) struct LiveSpan {
     pub thread: u64,
     pub sim_secs: f64,
     pub peak_bytes: u64,
+    pub worker: Option<u64>,
 }
 
 /// An open span. Dropping the guard closes the span and records it;
@@ -74,6 +80,7 @@ impl Span {
                 thread,
                 sim_secs: 0.0,
                 peak_bytes: 0,
+                worker: current_worker(),
             }),
         }
     }
@@ -117,6 +124,19 @@ thread_local! {
     /// Telemetry instances interleaved on one thread never adopt each
     /// other's spans.
     static STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+
+    /// Worker-pool lane currently executing on this thread, set by
+    /// [`crate::Telemetry::with_worker`]; stamped onto every span the
+    /// thread records while set.
+    static WORKER: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+pub(crate) fn current_worker() -> Option<u64> {
+    WORKER.with(std::cell::Cell::get)
+}
+
+pub(crate) fn set_current_worker(worker: Option<u64>) -> Option<u64> {
+    WORKER.with(|w| w.replace(worker))
 }
 
 fn key(inner: &Inner) -> usize {

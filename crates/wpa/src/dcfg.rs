@@ -95,8 +95,13 @@ impl Dcfg {
         for (&(from, to), &w) in &profile.branches {
             let src = mapper.lookup_idx(from);
             let dst = mapper.lookup_idx(to);
-            dcfg.addr_lookups += 2 * w;
-            dcfg.addr_unmapped += w * (src.is_none() as u64 + dst.is_none() as u64);
+            // Weights are u64 sample counts under the profile's
+            // control; saturate rather than wrap on adversarial input
+            // (a wrapped counter would silently report a clean profile).
+            dcfg.addr_lookups = dcfg.addr_lookups.saturating_add(w.saturating_mul(2));
+            dcfg.addr_unmapped = dcfg
+                .addr_unmapped
+                .saturating_add(w.saturating_mul(src.is_none() as u64 + dst.is_none() as u64));
             let (Some((sf, sb)), Some((df, db))) = (src, dst) else {
                 continue;
             };
@@ -120,12 +125,12 @@ impl Dcfg {
             // same-function blocks.
             let mut prev: Option<(u32, u32)> = None;
             // The block containing `lo` (a return may land mid-block).
-            dcfg.addr_lookups += w;
+            dcfg.addr_lookups = dcfg.addr_lookups.saturating_add(w);
             if let Some((f, b)) = mapper.lookup_idx(lo) {
                 *dcfg.functions[f as usize].block_counts.entry(b).or_insert(0) += w;
                 prev = Some((f, b));
             } else {
-                dcfg.addr_unmapped += w;
+                dcfg.addr_unmapped = dcfg.addr_unmapped.saturating_add(w);
             }
             for (f, b) in mapper.blocks_starting_in(lo, hi) {
                 if prev == Some((f, b)) {
@@ -174,9 +179,10 @@ impl Dcfg {
 
     /// Modeled memory: ~40 bytes per node, ~48 per edge — the
     /// "in-memory DCFG" of §5.1 whose size Phase 3's peak memory is
-    /// attributed to.
+    /// attributed to. Counts widen to u64 *before* multiplying, so the
+    /// product cannot wrap usize on 32-bit hosts.
     pub fn modeled_memory_bytes(&self) -> u64 {
-        (self.num_hot_blocks() * 40 + self.num_edges() * 48) as u64
+        self.num_hot_blocks() as u64 * 40 + self.num_edges() as u64 * 48
     }
 }
 

@@ -54,6 +54,12 @@ pub struct ExtTspParams {
     /// merges; longer chains only concatenate (the scalability knob of
     /// §4.7).
     pub chain_split_threshold: usize,
+    /// Worker threads for merge-gain evaluation. Gains for a batch of
+    /// candidate pairs are computed in parallel but reduced in the
+    /// serial submission order, so the heap sequence — and therefore
+    /// the final layout — is bit-identical at every value. `1` (the
+    /// default) evaluates inline.
+    pub jobs: usize,
 }
 
 impl Default for ExtTspParams {
@@ -65,6 +71,7 @@ impl Default for ExtTspParams {
             forward_weight: 0.1,
             backward_weight: 0.1,
             chain_split_threshold: 128,
+            jobs: 1,
         }
     }
 }
@@ -269,6 +276,46 @@ impl<'a> Optimizer<'a> {
     }
 }
 
+/// Evaluates [`Optimizer::best_merge`] for every ordered pair in
+/// `pairs`, returning results in `pairs` order. With `jobs > 1` the
+/// pair list is cut into contiguous chunks evaluated on scoped worker
+/// threads and the per-chunk results are concatenated in chunk order —
+/// `best_merge` is read-only, so the output is byte-for-byte the same
+/// as the serial evaluation regardless of thread interleaving.
+fn eval_pairs(
+    opt: &Optimizer<'_>,
+    pairs: &[(usize, usize)],
+    jobs: usize,
+) -> Vec<Option<(f64, usize)>> {
+    let jobs = jobs.max(1).min(pairs.len());
+    // Tiny batches are not worth a thread spawn; `jobs == 1` must take
+    // this branch so the legacy serial path stays byte-identical in
+    // behavior *and* in work done.
+    if jobs <= 1 || pairs.len() < 8 {
+        return pairs.iter().map(|&(x, y)| opt.best_merge(x, y)).collect();
+    }
+    let chunk = pairs.len().div_ceil(jobs);
+    let mut out = Vec::with_capacity(pairs.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|c| {
+                s.spawn(move || {
+                    c.iter()
+                        .map(|&(x, y)| opt.best_merge(x, y))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            // `best_merge` only panics on a dead chain, which callers
+            // never pass; a panic here is a bug worth propagating.
+            out.extend(h.join().expect("gain evaluation does not panic"));
+        }
+    });
+    out
+}
+
 /// One committed chain merge, in commit order — the provenance trail
 /// explaining how a final layout was assembled.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -401,15 +448,37 @@ pub fn order_nodes_logged(
             });
         }
     };
+    // Pushes a batch of evaluated pairs in submission order — the heap
+    // sees the exact sequence the serial code would have pushed, so the
+    // pop order (and every tie-break) is independent of `params.jobs`.
+    let push_evaluated = |opt: &Optimizer,
+                          heap: &mut BinaryHeap<HeapEntry>,
+                          ordered: &[(usize, usize)],
+                          evals: Vec<Option<(f64, usize)>>| {
+        for (&(x, y), ev) in ordered.iter().zip(evals) {
+            if let Some((gain, split)) = ev {
+                heap.push(HeapEntry {
+                    gain,
+                    x,
+                    y,
+                    vx: opt.chain(x).version,
+                    vy: opt.chain(y).version,
+                    split,
+                });
+            }
+        }
+    };
     let mut pairs: Vec<(usize, usize)> = (0..nodes.len())
         .flat_map(|x| opt.neighbors[x].iter().map(move |&y| (x, y)))
         .filter(|&(x, y)| x < y)
         .collect();
     pairs.sort_unstable();
-    for (x, y) in pairs {
-        push_pair(&opt, &mut heap, x, y);
-        push_pair(&opt, &mut heap, y, x);
-    }
+    let ordered: Vec<(usize, usize)> = pairs
+        .into_iter()
+        .flat_map(|(x, y)| [(x, y), (y, x)])
+        .collect();
+    let evals = eval_pairs(&opt, &ordered, params.jobs);
+    push_evaluated(&opt, &mut heap, &ordered, evals);
 
     let mut merges = 0u64;
     while let Some(entry) = heap.pop() {
@@ -438,10 +507,12 @@ pub fn order_nodes_logged(
         }
         let mut affected: Vec<usize> = opt.neighbors[x].iter().copied().collect();
         affected.sort_unstable();
-        for n in affected {
-            push_pair(&opt, &mut heap, x, n);
-            push_pair(&opt, &mut heap, n, x);
-        }
+        let ordered: Vec<(usize, usize)> = affected
+            .into_iter()
+            .flat_map(|n| [(x, n), (n, x)])
+            .collect();
+        let evals = eval_pairs(&opt, &ordered, params.jobs);
+        push_evaluated(&opt, &mut heap, &ordered, evals);
     }
 
     if tel.is_enabled() && merges > 0 {
@@ -638,5 +709,47 @@ mod tests {
     #[should_panic(expected = "entry must be a node")]
     fn unknown_entry_panics() {
         order_nodes(&nodes(&[(0, 1, 0)]), &[], 9, &ExtTspParams::default());
+    }
+
+    #[test]
+    fn parallel_gain_evaluation_is_bit_identical_to_serial() {
+        // A dense-enough graph that the initial batch and the
+        // post-merge re-evaluations both clear the parallel threshold.
+        let ns: Vec<Node> = (0..60)
+            .map(|i| Node {
+                id: i,
+                size: 12 + (i % 9),
+                count: (i as u64 * 41) % 120,
+            })
+            .collect();
+        let es: Vec<Edge> = (0..59)
+            .map(|i| edge(i, i + 1, ((i as u64 * 17) % 60) + 1))
+            .chain((0..25).map(|i| edge((i * 5) % 60, (i * 7 + 3) % 60, 35)))
+            .chain((0..12).map(|i| edge((i * 11 + 1) % 60, (i * 2) % 60, 50)))
+            .collect();
+        let serial = ExtTspParams::default();
+        let mut log1 = MergeLog::default();
+        let a = order_nodes_logged(
+            &ns,
+            &es,
+            0,
+            &serial,
+            &propeller_telemetry::Telemetry::disabled(),
+            Some(&mut log1),
+        );
+        for jobs in [2, 3, 8] {
+            let parallel = ExtTspParams { jobs, ..serial };
+            let mut log2 = MergeLog::default();
+            let b = order_nodes_logged(
+                &ns,
+                &es,
+                0,
+                &parallel,
+                &propeller_telemetry::Telemetry::disabled(),
+                Some(&mut log2),
+            );
+            assert_eq!(a, b, "layout diverged at jobs={jobs}");
+            assert_eq!(log1, log2, "merge log diverged at jobs={jobs}");
+        }
     }
 }

@@ -313,6 +313,8 @@ pub fn run_wpa_traced(
                 let name = if i == 0 {
                     ClusterName::Primary
                 } else {
+                    // Lossless: a function has at most one segment per
+                    // basic block, and block ids are themselves u32.
                     ClusterName::Numbered(i as u32)
                 };
                 clusters.push(Cluster {
@@ -396,6 +398,16 @@ pub fn run_wpa_traced(
             if planned.is_empty() {
                 Vec::new()
             } else {
+                // Dense cluster indices become u32 Ext-TSP node ids
+                // (and u32 edge endpoints below); check the width once
+                // so every later narrowing is lossless. Sizes clamp to
+                // u32::MAX explicitly — a >4 GiB section saturates
+                // instead of silently wrapping its distance math.
+                assert!(
+                    u32::try_from(planned.len()).is_ok(),
+                    "too many sections ({}) for u32 cluster ids",
+                    planned.len()
+                );
                 let nodes: Vec<Node> = planned
                     .iter()
                     .enumerate()

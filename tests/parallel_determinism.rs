@@ -1,0 +1,178 @@
+//! The parallel-determinism gate: `--jobs` must never change a bit.
+//!
+//! The executor, the Phase 2/4 codegen fan-out, and the Ext-TSP gain
+//! evaluation all shard real work across threads, but every reduction
+//! happens in submission order — so the RunReport JSON (including the
+//! embedded telemetry metrics snapshot), the degradation ledger, the
+//! final binary image, and the symbol order must be bit-identical for
+//! any job count, any seed, and any fault plan. These tests are the
+//! in-tree version of the CI `cmp run_report.json` gate.
+
+use propeller::{FaultPlan, PipelineError, Propeller, PropellerOptions};
+use propeller_buildsys::{BuildError, Executor, MachineConfig};
+use propeller_doctor::RunReport;
+use propeller_integration_tests::small_benchmark;
+use propeller_telemetry::Telemetry;
+use proptest::prelude::*;
+
+/// Every artifact the acceptance gate compares, captured from one full
+/// pipeline run at the given job count.
+struct Artifacts {
+    /// `run_report.json` contents, telemetry snapshot embedded.
+    report_json: String,
+    /// The rendered degradation ledger (empty line-set when clean).
+    ledger: String,
+    /// The final optimized binary's loaded image bytes.
+    image: Vec<u8>,
+    /// `ld_prof.txt` — the symbol order handed to the relink.
+    symbol_order: String,
+}
+
+fn artifacts_at(bench: &str, scale: f64, seed: u64, plan: &FaultPlan, jobs: usize) -> Artifacts {
+    let gen = small_benchmark(bench, scale, seed);
+    let opts = PropellerOptions {
+        jobs,
+        faults: plan.clone(),
+        seed,
+        ..PropellerOptions::default()
+    };
+    let mut p = Propeller::new(gen.program, gen.entries, opts);
+    p.set_telemetry(Telemetry::enabled());
+    let report = p.run_all().expect("pipeline completes at every job count");
+    let eval = p.evaluate(120_000).expect("phases ran");
+    let audit = propeller_doctor::audit_pipeline(&p).expect("audit runs");
+    let metrics = p.telemetry().drain().metrics;
+    let run_report = RunReport::collect(
+        bench,
+        scale,
+        seed,
+        &p,
+        &report,
+        Some(&eval),
+        Some(&audit),
+        Some(metrics),
+    );
+    Artifacts {
+        report_json: run_report.to_json_string(),
+        ledger: p.degradation().render(),
+        image: p.po_binary().expect("phase 4 ran").image.clone(),
+        symbol_order: p
+            .wpa_output()
+            .expect("phase 3 ran")
+            .symbol_order
+            .to_file_contents(),
+    }
+}
+
+/// Asserts `b` is bit-identical to the serial reference `a`, and that
+/// the layout is a well-formed permutation: same symbol multiset, no
+/// symbol dropped or duplicated by a parallel merge.
+fn assert_identical(a: &Artifacts, b: &Artifacts, jobs: usize) {
+    assert_eq!(
+        a.report_json, b.report_json,
+        "run_report.json differs between --jobs 1 and --jobs {jobs}"
+    );
+    assert_eq!(
+        a.ledger, b.ledger,
+        "degradation ledger differs between --jobs 1 and --jobs {jobs}"
+    );
+    assert_eq!(
+        a.image, b.image,
+        "final binary image differs between --jobs 1 and --jobs {jobs}"
+    );
+    assert_eq!(
+        a.symbol_order, b.symbol_order,
+        "symbol order differs between --jobs 1 and --jobs {jobs}"
+    );
+    let mut serial: Vec<&str> = a.symbol_order.lines().collect();
+    let mut parallel: Vec<&str> = b.symbol_order.lines().collect();
+    serial.sort_unstable();
+    parallel.sort_unstable();
+    assert_eq!(
+        serial, parallel,
+        "parallel layout is not a permutation of the serial layout"
+    );
+    serial.dedup();
+    assert_eq!(
+        serial.len(),
+        a.symbol_order.lines().count(),
+        "layout contains duplicate symbols"
+    );
+}
+
+/// The fault plans the property sweeps: clean, retry pressure, cache
+/// damage, and profile damage — each exercises a different parallel
+/// code path (retry accounting, cache rebuild, profile degradation).
+fn fault_plans() -> Vec<FaultPlan> {
+    let parse = |s: &str| FaultPlan::parse(s).expect("static plan literal parses");
+    vec![
+        FaultPlan::none(),
+        parse("transient=0.5"),
+        parse("corrupt-cache=1:2,evict-cache=0.3"),
+        parse("corrupt-lbr=0.4,truncate-samples=0.3"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// benchmark × seed × fault plan × jobs ∈ {2, 8}: every artifact
+    /// bit-identical to the `--jobs 1` legacy path.
+    #[test]
+    fn any_job_count_is_bit_identical_to_serial(
+        bench_idx in 0usize..2,
+        seed in 0u64..10_000,
+        plan_idx in 0usize..4,
+    ) {
+        let bench = ["clang", "557.xz"][bench_idx];
+        let plan = &fault_plans()[plan_idx];
+        let serial = artifacts_at(bench, 0.002, seed, plan, 1);
+        for jobs in [2, 8] {
+            let parallel = artifacts_at(bench, 0.002, seed, plan, jobs);
+            assert_identical(&serial, &parallel, jobs);
+        }
+    }
+}
+
+/// The fixed-seed version of the sweep, so a deterministic failure is
+/// always in the suite even when the property picks easy seeds.
+#[test]
+fn clang_under_kitchen_sink_faults_is_jobs_invariant() {
+    let plan = FaultPlan::parse(
+        "transient=0.4,timeout=0.2,corrupt-cache=0.4,evict-cache=0.2,\
+         corrupt-lbr=0.3,truncate-samples=0.3,permanent-codegen=0.5",
+    )
+    .expect("plan parses");
+    let serial = artifacts_at("clang", 0.004, 0xA5_2023, &plan, 1);
+    for jobs in [2, 8] {
+        let parallel = artifacts_at("clang", 0.004, 0xA5_2023, &plan, jobs);
+        assert_identical(&serial, &parallel, jobs);
+    }
+}
+
+/// A worker that panics must surface as a typed [`PipelineError`] —
+/// never a hang, never a poisoned-lock cascade. The pool catches the
+/// panic per item, finishes the batch, and reports the lowest-index
+/// failure.
+#[test]
+fn panicked_worker_surfaces_as_pipeline_error_not_a_hang() {
+    let ex = Executor::new(MachineConfig::default()).with_jobs(4);
+    let items: Vec<u32> = (0..64).collect();
+    let err = ex
+        .execute_indexed("panic probe", &items, |_w, _i, &it| {
+            if it == 33 {
+                panic!("injected worker panic on item {it}");
+            }
+            it * 2
+        })
+        .expect_err("the panic must become an error, not a hang");
+    assert!(
+        matches!(err, BuildError::WorkerPanicked { .. }),
+        "expected WorkerPanicked, got {err}"
+    );
+    let surfaced = PipelineError::from(err).to_string();
+    assert!(
+        surfaced.contains("panic probe") && surfaced.contains("injected worker panic"),
+        "pipeline error must carry the pool context and payload: {surfaced}"
+    );
+}
