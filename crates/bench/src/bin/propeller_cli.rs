@@ -82,11 +82,33 @@
 //!     RunReport JSON (diffable with `propeller_cli diff`) instead;
 //!     --out writes it to FILE rather than stdout.
 //!
-//! propeller_cli diff <A.json> <B.json> [--tolerance PCT]
-//!     Diff two RunReports (baseline A, candidate B): metric deltas
-//!     with per-direction regression gating plus structural layout
-//!     changes. Exits nonzero when a gated metric worsened by more
-//!     than the tolerance (default 0) — the CI bench gate.
+//! propeller_cli diff <A.json> <B.json> [C.json ...] [--tolerance PCT]
+//!     Diff RunReports. With exactly two (baseline A, candidate B):
+//!     metric deltas with per-direction regression gating plus
+//!     structural layout changes. With three or more: a per-metric
+//!     trend table across all reports in order, gating every
+//!     consecutive pair. Exits nonzero when a gated metric worsened by
+//!     more than the tolerance (default 0) — the CI bench gate.
+//!
+//! propeller_cli fleet [<benchmark>] [--releases N] [--machines M]
+//!                     [--drift D] [--scale S] [--seed N] [--jobs N]
+//!                     [--skew-threshold T] [--history-window W]
+//!                     [--out DIR]
+//!     Simulate a continuous profile lifecycle: evolve the program
+//!     across N releases at drift rate D (0 = identical releases, the
+//!     control arm), collect LBR samples on each release from M
+//!     machines with Zipf traffic shares, merge current plus windowed
+//!     historical profiles (translated across binaries, decayed by
+//!     age), score the merged profile's staleness skew, and let the
+//!     relink-vs-reuse policy (threshold T) pick what ships — all
+//!     against a shared action cache so unchanged objects never
+//!     rebuild. Prints the per-release ledger: skew, decision,
+//!     achieved speedup vs an oracle fresh-profile relink, the gap
+//!     between them, and the release's cache hit rate (the
+//!     speedup-vs-staleness curve). With --out, write
+//!     fleet_report.json and fleet_curve.csv. At --drift 0 the run
+//!     self-checks that post-warmup releases are bit-identical and
+//!     exits nonzero if not — the CI fleet gate.
 //!
 //! propeller_cli dump <benchmark> [--scale S] [--seed N]
 //!     Print the generated program as an IR listing.
@@ -101,8 +123,10 @@ use propeller::{
 use propeller_bench::{run_benchmark, RunConfig};
 use propeller_doctor::{
     audit_pipeline, degradation_findings, diagnose, diff_reports, render_annotate,
-    render_perf_report, AttributionSection, DoctorConfig, RunReport, Severity,
+    render_perf_report, trend_reports, AttributionSection, DoctorConfig, RelinkPolicy, RunReport,
+    Severity,
 };
+use propeller_fleet::{run_fleet, FleetOptions};
 use propeller_sim::{heatmap_csv, heatmap_pgm, AttributedCounters, Event, SimOptions};
 use propeller_synth::{all_specs, generate, spec_by_name, GenParams};
 use propeller_telemetry::{chrome::to_chrome_trace, report::render_text, JsonValue, Telemetry};
@@ -112,11 +136,13 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: propeller_cli <list | run <bench> | doctor <bench> | chaos [bench] | \
-         compare <bench> | perf-report <bench> | annotate <bench> <function> | \
-         diff <A.json> <B.json> | dump <bench> | map <bench>> \
+         fleet [bench] | compare <bench> | perf-report <bench> | \
+         annotate <bench> <function> | diff <A.json> <B.json> [C.json ...] | \
+         dump <bench> | map <bench>> \
          [--scale S] [--seed N] [--out PATH] [--trace-out FILE] [--json] \
          [--tolerance PCT] [--faults SPEC] [--jobs N] [--top N] [--event E] \
-         [--flamegraph-out FILE] [--heatmap-out FILE]"
+         [--releases N] [--machines M] [--drift D] [--skew-threshold T] \
+         [--history-window W] [--flamegraph-out FILE] [--heatmap-out FILE]"
     );
     ExitCode::FAILURE
 }
@@ -683,6 +709,108 @@ fn main() -> ExitCode {
                 Err(code) => code,
             }
         }
+        Some("fleet") => {
+            let mut benchmark = "clang".to_string();
+            let mut scale: Option<f64> = None;
+            let mut out: Option<String> = None;
+            let mut fopts = FleetOptions::default();
+            let mut first = true;
+            while let Some(tok) = argv.next() {
+                macro_rules! val {
+                    () => {
+                        match argv.next().and_then(|s| s.parse().ok()) {
+                            Some(v) => v,
+                            None => return usage(),
+                        }
+                    };
+                }
+                match tok.as_str() {
+                    "--scale" => scale = Some(val!()),
+                    "--seed" => fopts.seed = val!(),
+                    "--releases" => fopts.releases = val!(),
+                    "--machines" => fopts.machines = val!(),
+                    "--drift" => fopts.drift = val!(),
+                    "--jobs" => fopts.jobs = val!(),
+                    "--skew-threshold" => fopts.policy = RelinkPolicy { max_skew: val!() },
+                    "--history-window" => fopts.history_window = val!(),
+                    "--out" => {
+                        let Some(dir) = argv.next() else {
+                            return usage();
+                        };
+                        out = Some(dir);
+                    }
+                    t if first && !t.starts_with("--") => benchmark = t.to_string(),
+                    _ => return usage(),
+                }
+                first = false;
+            }
+            let Some(spec) = spec_by_name(&benchmark) else {
+                eprintln!("unknown benchmark {benchmark:?} (try `list`)");
+                return ExitCode::FAILURE;
+            };
+            let scale = scale.unwrap_or(spec.default_scale);
+            let report = match run_fleet(&spec, scale, &fopts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("fleet run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "fleet: {} scale {} seed {} | {} releases, {} machines, drift {}, \
+                 skew threshold {}, history window {}",
+                report.benchmark,
+                report.scale,
+                report.seed,
+                fopts.releases,
+                report.machines,
+                report.drift,
+                report.skew_threshold,
+                report.history_window,
+            );
+            println!(
+                "{:>7}  {:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>6}  {:>9}",
+                "release", "skew", "decision", "achieved%", "oracle%", "gap%", "cache%", "dropped"
+            );
+            for r in &report.records {
+                println!(
+                    "{:>7}  {:>6.3}  {:>9}  {:>9.3}  {:>9.3}  {:>8.3}  {:>6.1}  {:>9}",
+                    r.release,
+                    r.skew,
+                    r.decision,
+                    r.achieved_speedup_pct,
+                    r.oracle_speedup_pct,
+                    r.gap_pct,
+                    r.cache_hit_rate * 100.0,
+                    r.dropped_records,
+                );
+            }
+            println!("mean post-bootstrap gap: {:.3}%", report.mean_gap_pct());
+            if let Some(dir) = &out {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let json_path = format!("{dir}/fleet_report.json");
+                let csv_path = format!("{dir}/fleet_curve.csv");
+                if let Err(e) = std::fs::write(&json_path, report.to_json_string())
+                    .and_then(|()| std::fs::write(&csv_path, report.curve_csv()))
+                {
+                    eprintln!("cannot write fleet artifacts under {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {json_path} and {csv_path}");
+            }
+            if report.drift == 0.0 && !report.steady_after_warmup(report.history_window) {
+                eprintln!(
+                    "FLEET GATE: zero-drift run is not steady after the {}-release warmup \
+                     (identical releases produced different ledger rows)",
+                    report.history_window
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
         Some("compare") => {
             let Some(args) = parse_args(argv) else {
                 return usage();
@@ -897,23 +1025,22 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("diff") => {
-            let Some(path_a) = argv.next() else {
-                return usage();
-            };
-            let Some(path_b) = argv.next() else {
-                return usage();
-            };
+            let mut paths: Vec<String> = Vec::new();
             let mut tolerance = 0.0f64;
-            while let Some(flag) = argv.next() {
-                match flag.as_str() {
+            while let Some(tok) = argv.next() {
+                match tok.as_str() {
                     "--tolerance" => {
                         let Some(t) = argv.next().and_then(|t| t.parse().ok()) else {
                             return usage();
                         };
                         tolerance = t;
                     }
+                    t if !t.starts_with("--") => paths.push(t.to_string()),
                     _ => return usage(),
                 }
+            }
+            if paths.len() < 2 {
+                return usage();
             }
             let load = |path: &str| -> Result<RunReport, ExitCode> {
                 let text = std::fs::read_to_string(path).map_err(|e| {
@@ -925,17 +1052,28 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 })
             };
-            let a = match load(&path_a) {
-                Ok(r) => r,
-                Err(code) => return code,
+            let mut reports = Vec::with_capacity(paths.len());
+            for path in &paths {
+                match load(path) {
+                    Ok(r) => reports.push(r),
+                    Err(code) => return code,
+                }
+            }
+            let regressed = if reports.len() == 2 {
+                let d = diff_reports(&reports[0], &reports[1], tolerance);
+                print!("{}", d.render());
+                d.has_regression()
+            } else {
+                let labeled: Vec<(String, &RunReport)> = paths
+                    .iter()
+                    .cloned()
+                    .zip(reports.iter())
+                    .collect();
+                let t = trend_reports(&labeled, tolerance);
+                print!("{}", t.render());
+                t.has_regression()
             };
-            let b = match load(&path_b) {
-                Ok(r) => r,
-                Err(code) => return code,
-            };
-            let d = diff_reports(&a, &b, tolerance);
-            print!("{}", d.render());
-            if d.has_regression() {
+            if regressed {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS

@@ -46,6 +46,20 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// The counter deltas accumulated since `earlier` was snapshotted —
+    /// per-release cache accounting for callers (the fleet loop) that
+    /// share one cumulative cache across many pipeline runs. Saturates
+    /// at zero if `earlier` is not actually an earlier snapshot of the
+    /// same cache.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.saturating_sub(earlier.lookups),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+        }
+    }
+
     /// Hits as a fraction of lookups (`0.0` before any lookup).
     pub fn hit_rate(&self) -> f64 {
         if self.lookups == 0 {
@@ -236,6 +250,29 @@ mod tests {
 
     fn key(n: u64) -> ContentHash {
         ContentHash::of_bytes(&n.to_le_bytes())
+    }
+
+    #[test]
+    fn since_yields_per_window_deltas() {
+        let mut cache: ActionCache<u64> = ActionCache::new();
+        cache.insert(key(1), 10);
+        let _ = cache.lookup(key(1));
+        let _ = cache.lookup(key(2));
+        let before = cache.stats();
+        let _ = cache.lookup(key(1));
+        let _ = cache.lookup(key(1));
+        let delta = cache.stats().since(&before);
+        assert_eq!(delta.lookups, 2);
+        assert_eq!(delta.hits, 2);
+        assert_eq!(delta.misses, 0);
+        assert_eq!(delta.insertions, 0);
+        assert_eq!(delta.hit_rate(), 1.0);
+        // A non-snapshot "earlier" saturates instead of wrapping.
+        let weird = CacheStats {
+            lookups: u64::MAX,
+            ..before
+        };
+        assert_eq!(cache.stats().since(&weird).lookups, 0);
     }
 
     #[test]

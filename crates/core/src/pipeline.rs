@@ -18,11 +18,14 @@ use propeller_ir::{FunctionId, Program};
 use propeller_linker::{link_traced, LinkInput, LinkOptions, LinkedBinary};
 use propeller_obj::ContentHash;
 use propeller_profile::{
-    degrade_profile, salvage_profile, HardwareProfile, SamplingConfig,
+    degrade_profile, salvage_profile, AggregatedProfile, HardwareProfile, SamplingConfig,
 };
 use propeller_sim::{simulate_traced, CounterSet, ProgramImage, SimOptions, UarchConfig, Workload};
 use propeller_telemetry::{SpanId, Telemetry};
-use propeller_wpa::{apply_prefetches, prefetch_directives, run_wpa_traced, WpaOptions, WpaOutput};
+use propeller_wpa::{
+    apply_prefetches, prefetch_directives, run_wpa_agg_traced, run_wpa_traced, WpaOptions,
+    WpaOutput,
+};
 use std::sync::Arc;
 
 /// What [`Propeller::codegen_batch`] hands back: artifacts in plan
@@ -645,6 +648,84 @@ impl Propeller {
         span.set_peak_bytes(report.max_action_memory);
         self.profile = Some(profile);
         self.wpa_output = Some(wpa);
+        Ok(report)
+    }
+
+    /// Phase 3 variant for the fleet lifecycle: whole-program analysis
+    /// over an externally collected (and typically multi-machine
+    /// merged, possibly stale) aggregated profile, skipping the local
+    /// profiling run entirely.
+    ///
+    /// `profile_bytes` is the modeled raw size of the samples behind
+    /// `agg`, used for the conversion-cost and memory models. The
+    /// pipeline's own profile/counter slots stay empty — this phase
+    /// consumes samples collected on *other* machines (and possibly an
+    /// older binary, translated into this one's address space).
+    ///
+    /// # Errors
+    ///
+    /// Propagates build-system failures, as
+    /// [`Propeller::phase3_profile_and_analyze`] does.
+    pub fn phase3_analyze_merged(
+        &mut self,
+        agg: &AggregatedProfile,
+        profile_bytes: u64,
+    ) -> Result<PhaseReport, PipelineError> {
+        let Some(pm) = self.pm_binary.clone() else {
+            return Err(PipelineError::PhaseOrder { needs: "phase 2" });
+        };
+        let mut span = self.tel.span("phase3.analyze_merged");
+        let span_id = span.id();
+        let wpa = run_wpa_agg_traced(
+            &self.program,
+            &pm,
+            agg,
+            profile_bytes,
+            &self.opts.wpa,
+            &self.tel,
+            span_id,
+        );
+        let cpu = self.opts.cost.profile_conversion_secs(profile_bytes)
+            + self.opts.cost.wpa_secs(wpa.stats.dcfg_edges as u64);
+        let (report, res) = self.executor.run_phase_resilient_traced(
+            &[ActionSpec::new(
+                "whole-program analysis (merged profile)",
+                cpu,
+                wpa.stats.modeled_peak_memory,
+            )],
+            &self.tel,
+            span_id,
+        )?;
+        self.absorb_resilience(res);
+        self.times.phase3 = report;
+        span.set_sim_secs(report.wall_secs);
+        span.set_peak_bytes(report.max_action_memory);
+        self.wpa_output = Some(wpa);
+        Ok(report)
+    }
+
+    /// Phase 3 variant for the fleet lifecycle's *reuse* decision: skip
+    /// analysis and adopt the identity layout, so Phase 4 becomes an
+    /// all-cold relink that reuses every Phase 2 artifact from the
+    /// cache and ships a correct, baseline-equivalent binary.
+    ///
+    /// This is what "don't re-optimize this release" means in the
+    /// release loop: when the only available profile is too stale to
+    /// trust (skew above threshold), shipping the unoptimized layout is
+    /// strictly safer than optimizing for the wrong distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails if Phase 2 has not produced the metadata binary yet.
+    pub fn phase3_reuse_layout(&mut self) -> Result<PhaseReport, PipelineError> {
+        if self.pm_binary.is_none() {
+            return Err(PipelineError::PhaseOrder { needs: "phase 2" });
+        }
+        let mut span = self.tel.span("phase3.reuse_layout");
+        let report = PhaseReport::default();
+        self.times.phase3 = report;
+        span.set_sim_secs(report.wall_secs);
+        self.wpa_output = Some(WpaOutput::identity_fallback(Default::default()));
         Ok(report)
     }
 

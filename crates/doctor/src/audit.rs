@@ -214,11 +214,10 @@ pub fn audit_profile_with_reference(
 /// — the regression gate diffs these numbers at zero tolerance.
 fn edge_distribution(
     binary: &LinkedBinary,
-    profile: &HardwareProfile,
+    agg: &AggregatedProfile,
 ) -> BTreeMap<(String, u32, u32), f64> {
     let mapper = AddressMapper::from_binary(binary);
-    let agg = AggregatedProfile::from_profile(profile);
-    let dcfg = Dcfg::build(&mapper, &agg);
+    let dcfg = Dcfg::build(&mapper, agg);
     let mut weights: BTreeMap<(String, u32, u32), u64> = BTreeMap::new();
     for (fi, dc) in dcfg.functions.iter().enumerate() {
         let symbol = mapper.func_symbol(fi as u32);
@@ -255,8 +254,29 @@ pub fn layout_skew(
     po_binary: &LinkedBinary,
     po_profile: &HardwareProfile,
 ) -> f64 {
-    let p = edge_distribution(pm_binary, pm_profile);
-    let q = edge_distribution(po_binary, po_profile);
+    layout_skew_agg(
+        pm_binary,
+        &AggregatedProfile::from_profile(pm_profile),
+        po_binary,
+        &AggregatedProfile::from_profile(po_profile),
+    )
+}
+
+/// [`layout_skew`] over already-aggregated profiles.
+///
+/// The fleet release loop compares the merged stale profile (collected
+/// on earlier releases, translated into the current binary's address
+/// space) against the fresh distribution of the current release; by the
+/// time that comparison happens only aggregated counts exist, so the
+/// raw-sample wrapper above cannot be used.
+pub fn layout_skew_agg(
+    p_binary: &LinkedBinary,
+    p_agg: &AggregatedProfile,
+    q_binary: &LinkedBinary,
+    q_agg: &AggregatedProfile,
+) -> f64 {
+    let p = edge_distribution(p_binary, p_agg);
+    let q = edge_distribution(q_binary, q_agg);
     let mut dist = 0.0;
     for (k, pv) in &p {
         dist += (pv - q.get(k).copied().unwrap_or(0.0)).abs();

@@ -30,13 +30,18 @@ pub mod audit;
 pub mod diff;
 pub mod doctor;
 pub mod perf;
+pub mod policy;
 pub mod report;
 
 pub use audit::{
-    audit_pipeline, audit_profile, audit_profile_with_reference, layout_skew, ExpectedLoad,
-    ProfileAudit,
+    audit_pipeline, audit_profile, audit_profile_with_reference, layout_skew, layout_skew_agg,
+    ExpectedLoad, ProfileAudit,
 };
-pub use diff::{diff_reports, direction_of, DiffReport, Direction, LayoutChange, MetricDelta};
+pub use diff::{
+    diff_reports, direction_of, trend_reports, DiffReport, Direction, LayoutChange, MetricDelta,
+    TrendReport,
+};
+pub use policy::{RelinkDecision, RelinkPolicy};
 pub use doctor::{
     degradation_findings, diagnose, render, wall_clock_findings, wall_clock_findings_with, worst,
     DoctorConfig, Finding, Severity,

@@ -1,0 +1,620 @@
+//! # The fleet loop: a continuous profile lifecycle across releases
+//!
+//! The paper's production story (§2, §5) is not one relink. Thousands
+//! of machines serve traffic; LBR samples stream in continuously; and
+//! every release is relinked against profiles collected on the
+//! *previous* binary. This crate makes that loop a deterministic,
+//! measurable simulation:
+//!
+//! 1. **Evolve** — release *k* is a seeded mutation of release *k−1*
+//!    ([`propeller_synth::evolve`]): functions added/deleted, blocks
+//!    resized, branch behavior drifting at a tunable rate;
+//! 2. **Collect** — machines with unequal traffic shares each run the
+//!    workload on release *k*'s metadata binary under their own seed;
+//! 3. **Merge** — per-machine profiles (current and up to
+//!    [`FleetOptions::history_window`] past releases, translated across
+//!    binaries) merge weighted by sample volume with age decay
+//!    ([`propeller_profile::merge_profiles`]);
+//! 4. **Decide** — the stale-profile skew score against the fresh
+//!    distribution drives relink-vs-reuse
+//!    ([`propeller_doctor::RelinkPolicy`]);
+//! 5. **Relink** — the chosen Phase 3/4 runs against a *shared* action
+//!    cache, so only drifted-hot objects regenerate release over
+//!    release;
+//! 6. **Ledger** — each release records achieved speedup vs an oracle
+//!    fresh-profile relink, the skew, the decision, and the per-release
+//!    cache hit rate: the speedup-vs-staleness curve the paper implies
+//!    but never plots.
+//!
+//! Everything is a pure function of `(spec, scale, options)`:
+//! [`FleetReport::to_json_string`] is bit-identical across runs and
+//! worker counts.
+
+mod translate;
+
+pub use translate::{translate_profile, TranslationStats};
+
+use propeller::{BuildCaches, Propeller, PropellerOptions};
+use propeller_doctor::{layout_skew_agg, RelinkDecision, RelinkPolicy};
+use propeller_linker::LinkedBinary;
+use propeller_profile::{
+    merge_profiles, AggregatedProfile, HardwareProfile, MergeOptions, ProfileSource,
+};
+use propeller_sim::{collect_profile, ProgramImage, Workload};
+use propeller_synth::{evolve, generate, BenchmarkSpec, DriftParams, GenParams};
+use propeller_telemetry::JsonValue;
+use propeller_wpa::AddressMapper;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Fleet-loop configuration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FleetOptions {
+    /// Releases to simulate (release 0 bootstraps on a fresh profile).
+    pub releases: u32,
+    /// Machines collecting samples each release, with Zipf-distributed
+    /// traffic shares (machine `m` serves a `1/(m+1)` share).
+    pub machines: usize,
+    /// Release-over-release churn intensity in `[0, 1]`; `0.0` is the
+    /// control arm (every release is the identical program).
+    pub drift: f64,
+    /// Master seed: generation, workloads, machine collection and
+    /// mutation all derive from it.
+    pub seed: u64,
+    /// Relink-vs-reuse threshold on the skew score.
+    pub policy: RelinkPolicy,
+    /// How many past releases' profiles stay in the merge window.
+    pub history_window: u32,
+    /// Total profiling block budget per release, split across machines
+    /// by traffic share.
+    pub profile_budget: u64,
+    /// Block budget for the speedup evaluation of each release.
+    pub eval_budget: u64,
+    /// Worker threads for the underlying pipelines (bit-identical
+    /// output at every value).
+    pub jobs: usize,
+    /// Age decay applied when merging historical profiles.
+    pub decay: MergeOptions,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            releases: 6,
+            machines: 4,
+            drift: 0.0,
+            seed: 0x5eed,
+            policy: RelinkPolicy::default(),
+            history_window: 3,
+            profile_budget: 120_000,
+            eval_budget: 400_000,
+            jobs: 1,
+            decay: MergeOptions::default(),
+        }
+    }
+}
+
+/// One release's row in the ledger.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ReleaseRecord {
+    /// Release index (0 = bootstrap).
+    pub release: u32,
+    /// Functions in this release's program.
+    pub functions: usize,
+    /// Skew of the merged stale profile against the fresh distribution
+    /// (0 for the bootstrap release, which has no history).
+    pub skew: f64,
+    /// `"bootstrap"`, `"relink"` or `"reuse"`.
+    pub decision: String,
+    /// Speedup the shipped binary achieved over baseline, in percent.
+    pub achieved_speedup_pct: f64,
+    /// Speedup an oracle fresh-profile relink achieves, in percent.
+    pub oracle_speedup_pct: f64,
+    /// `oracle - achieved`: what staleness cost this release.
+    pub gap_pct: f64,
+    /// Hot functions in the layout actually shipped.
+    pub hot_functions: usize,
+    /// Object-cache lookups this release's build performed.
+    pub cache_lookups: u64,
+    /// Of those, hits against artifacts from earlier releases or
+    /// phases.
+    pub cache_hits: u64,
+    /// `cache_hits / cache_lookups` for this release alone.
+    pub cache_hit_rate: f64,
+    /// LBR records entering cross-binary translation for the merge.
+    pub translated_records: u64,
+    /// Records dropped in translation (deleted functions, shrunk
+    /// blocks, unmapped addresses).
+    pub dropped_records: u64,
+}
+
+impl ReleaseRecord {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("release".into(), JsonValue::Num(f64::from(self.release))),
+            ("functions".into(), JsonValue::Num(self.functions as f64)),
+            ("skew".into(), JsonValue::Num(self.skew)),
+            ("decision".into(), JsonValue::Str(self.decision.clone())),
+            (
+                "achieved_speedup_pct".into(),
+                JsonValue::Num(self.achieved_speedup_pct),
+            ),
+            (
+                "oracle_speedup_pct".into(),
+                JsonValue::Num(self.oracle_speedup_pct),
+            ),
+            ("gap_pct".into(), JsonValue::Num(self.gap_pct)),
+            (
+                "hot_functions".into(),
+                JsonValue::Num(self.hot_functions as f64),
+            ),
+            (
+                "cache_lookups".into(),
+                JsonValue::Num(self.cache_lookups as f64),
+            ),
+            ("cache_hits".into(), JsonValue::Num(self.cache_hits as f64)),
+            (
+                "cache_hit_rate".into(),
+                JsonValue::Num(self.cache_hit_rate),
+            ),
+            (
+                "translated_records".into(),
+                JsonValue::Num(self.translated_records as f64),
+            ),
+            (
+                "dropped_records".into(),
+                JsonValue::Num(self.dropped_records as f64),
+            ),
+        ])
+    }
+}
+
+/// The full ledger: one record per release plus the run's parameters.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FleetReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Program scale factor.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Churn intensity.
+    pub drift: f64,
+    /// Machines per release.
+    pub machines: usize,
+    /// Skew threshold the policy gated at.
+    pub skew_threshold: f64,
+    /// History window in releases.
+    pub history_window: u32,
+    /// Per-release records, in release order.
+    pub records: Vec<ReleaseRecord>,
+}
+
+impl FleetReport {
+    /// The report as a JSON value with a fixed member order.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("benchmark".into(), JsonValue::Str(self.benchmark.clone())),
+            ("scale".into(), JsonValue::Num(self.scale)),
+            ("seed".into(), JsonValue::Num(self.seed as f64)),
+            ("drift".into(), JsonValue::Num(self.drift)),
+            ("machines".into(), JsonValue::Num(self.machines as f64)),
+            (
+                "skew_threshold".into(),
+                JsonValue::Num(self.skew_threshold),
+            ),
+            (
+                "history_window".into(),
+                JsonValue::Num(f64::from(self.history_window)),
+            ),
+            (
+                "records".into(),
+                JsonValue::Arr(self.records.iter().map(ReleaseRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The pretty-printed JSON document (deterministic bytes).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// The speedup-vs-staleness curve as CSV, one row per release.
+    pub fn curve_csv(&self) -> String {
+        let mut out = String::from(
+            "release,skew,decision,achieved_speedup_pct,oracle_speedup_pct,gap_pct,cache_hit_rate\n",
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                r.release,
+                r.skew,
+                r.decision,
+                r.achieved_speedup_pct,
+                r.oracle_speedup_pct,
+                r.gap_pct,
+                r.cache_hit_rate
+            );
+        }
+        out
+    }
+
+    /// Whether the loop reached a steady state: every record from
+    /// release `window + 1` on is identical (ignoring the release
+    /// index).
+    ///
+    /// A zero-drift run must satisfy this — the same program, the same
+    /// machine seeds and the same (fully warmed) history window can
+    /// only produce the same row. Early releases are excluded because
+    /// the window is still filling: release 1 merges one past release,
+    /// release 2 merges two, and so on until `window` are in view.
+    /// Release `window` itself merges with the steady age multiset for
+    /// the first time, so its relink still pays cache misses for the
+    /// newly-converged layout's artifacts; only the release after it
+    /// repeats the whole row, cache accounting included.
+    pub fn steady_after_warmup(&self, window: u32) -> bool {
+        let from = window as usize + 1;
+        let mut rows = self.records.iter().skip(from).map(|r| {
+            let mut clone = r.clone();
+            clone.release = 0;
+            clone
+        });
+        let Some(first) = rows.next() else {
+            return true;
+        };
+        rows.all(|r| r == first)
+    }
+
+    /// Mean `gap_pct` over the post-bootstrap releases (0.0 when there
+    /// are none) — the scalar the drift-monotonicity experiment plots.
+    pub fn mean_gap_pct(&self) -> f64 {
+        let gaps: Vec<f64> = self.records.iter().skip(1).map(|r| r.gap_pct).collect();
+        if gaps.is_empty() {
+            0.0
+        } else {
+            gaps.iter().sum::<f64>() / gaps.len() as f64
+        }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Splits `total` into Zipf-weighted machine budgets (`1/(m+1)`)
+/// summing to exactly `total`, largest-remainder rounded.
+fn machine_budgets(total: u64, machines: usize) -> Vec<u64> {
+    let machines = machines.max(1);
+    let weights: Vec<f64> = (0..machines).map(|m| 1.0 / (m as f64 + 1.0)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut budgets: Vec<u64> = weights
+        .iter()
+        .map(|w| ((total as f64) * w / wsum).floor() as u64)
+        .collect();
+    let mut leftover = total - budgets.iter().sum::<u64>();
+    for b in budgets.iter_mut() {
+        if leftover == 0 {
+            break;
+        }
+        *b += 1;
+        leftover -= 1;
+    }
+    budgets
+}
+
+/// One past release retained in the merge window.
+struct HistoryEntry {
+    pm_binary: Arc<LinkedBinary>,
+    machine_profiles: Vec<HardwareProfile>,
+    /// Release index the profiles were collected on.
+    release: u32,
+}
+
+fn agg_sources(profiles: &[(AggregatedProfile, u64, u32)]) -> Vec<ProfileSource> {
+    profiles
+        .iter()
+        .map(|(agg, weight, age)| ProfileSource {
+            agg: agg.clone(),
+            weight: *weight,
+            age: *age,
+        })
+        .collect()
+}
+
+/// Runs the fleet loop.
+///
+/// # Errors
+///
+/// Propagates the first pipeline or image-construction failure as a
+/// rendered string (the loop has no partial-result mode: a failed
+/// release invalidates the curve).
+pub fn run_fleet(
+    spec: &BenchmarkSpec,
+    scale: f64,
+    opts: &FleetOptions,
+) -> Result<FleetReport, String> {
+    let prod_caches = BuildCaches::new();
+    let oracle_caches = BuildCaches::new();
+    let popts = PropellerOptions {
+        seed: opts.seed,
+        jobs: opts.jobs,
+        ..PropellerOptions::default()
+    };
+    // Machine collection seeds are fixed for the whole run — a machine
+    // keeps its workload identity across releases, so the zero-drift
+    // control arm re-collects byte-identical profiles every release.
+    let machine_seeds: Vec<u64> = (0..opts.machines.max(1))
+        .map(|m| splitmix(opts.seed ^ splitmix(0xF1EE7 + m as u64)))
+        .collect();
+    let budgets = machine_budgets(opts.profile_budget, opts.machines);
+
+    let mut bench = generate(
+        spec,
+        &GenParams {
+            scale,
+            ..GenParams::for_spec(spec)
+        },
+    );
+    let mut history: Vec<HistoryEntry> = Vec::new();
+    let mut records = Vec::new();
+
+    for release in 0..opts.releases {
+        if release > 0 {
+            bench = evolve(
+                &bench,
+                &DriftParams {
+                    drift: opts.drift,
+                    seed: opts.seed,
+                    release,
+                },
+            );
+        }
+
+        // Production build of this release, sharing caches with every
+        // earlier release: phases 1-2 give the metadata binary the
+        // fleet samples against.
+        let cache_before = prod_caches.object_stats();
+        let mut prod = Propeller::with_caches(
+            bench.program.clone(),
+            bench.entries.clone(),
+            popts.clone(),
+            prod_caches.clone(),
+        );
+        prod.phase1_compile().map_err(|e| e.to_string())?;
+        prod.phase2_build_metadata().map_err(|e| e.to_string())?;
+        let pm = Arc::new(
+            prod.pm_binary()
+                .ok_or("phase 2 produced no binary")?
+                .clone(),
+        );
+
+        // Per-machine collection on this release's binary: unequal
+        // traffic shares, per-machine seeds, one profile each.
+        let image =
+            ProgramImage::build(prod.program(), &pm.layout).map_err(|e| e.to_string())?;
+        let mut machine_profiles = Vec::with_capacity(opts.machines);
+        for (m, &budget) in budgets.iter().enumerate() {
+            let mut w = Workload::new(bench.entries.clone(), budget);
+            w.seed = machine_seeds[m];
+            let (profile, _) =
+                collect_profile(&image, &w, &popts.uarch, popts.sampling);
+            machine_profiles.push(profile);
+        }
+        let fresh_bytes: u64 = machine_profiles.iter().map(|p| p.raw_size_bytes()).sum();
+        let fresh_sources: Vec<(AggregatedProfile, u64, u32)> = machine_profiles
+            .iter()
+            .map(|p| {
+                (
+                    AggregatedProfile::from_profile(p),
+                    p.samples.len() as u64,
+                    0,
+                )
+            })
+            .collect();
+        let fresh_agg = merge_profiles(&agg_sources(&fresh_sources), &opts.decay);
+
+        // The stale merge: every windowed past release's machines,
+        // translated into this binary's address space, decayed by age.
+        let mut stale_sources: Vec<(AggregatedProfile, u64, u32)> = Vec::new();
+        let mut stale_bytes = 0u64;
+        let mut translated_records = 0u64;
+        let mut dropped_records = 0u64;
+        for entry in &history {
+            let old_mapper = AddressMapper::from_binary(&entry.pm_binary);
+            let age = release - entry.release;
+            for p in &entry.machine_profiles {
+                let (translated, tstats) = translate_profile(p, &old_mapper, &pm);
+                translated_records += tstats.records_in;
+                dropped_records += tstats.records_dropped;
+                stale_bytes += translated.raw_size_bytes();
+                stale_sources.push((
+                    AggregatedProfile::from_profile(&translated),
+                    translated.samples.len() as u64,
+                    age,
+                ));
+            }
+        }
+
+        let (skew, decision_str, decision) = if release == 0 {
+            // Bootstrap: no history exists, the first release relinks
+            // against its own fresh collection.
+            (0.0, "bootstrap".to_string(), RelinkDecision::Relink)
+        } else {
+            let stale_agg = merge_profiles(&agg_sources(&stale_sources), &opts.decay);
+            let skew = layout_skew_agg(&pm, &stale_agg, &pm, &fresh_agg);
+            let decision = opts.policy.decide(skew);
+            (skew, decision.as_str().to_string(), decision)
+        };
+
+        // Ship the release the policy chose.
+        match decision {
+            RelinkDecision::Relink if release == 0 => {
+                prod.phase3_analyze_merged(&fresh_agg, fresh_bytes)
+                    .map_err(|e| e.to_string())?;
+            }
+            RelinkDecision::Relink => {
+                let stale_agg = merge_profiles(&agg_sources(&stale_sources), &opts.decay);
+                prod.phase3_analyze_merged(&stale_agg, stale_bytes)
+                    .map_err(|e| e.to_string())?;
+            }
+            RelinkDecision::Reuse => {
+                prod.phase3_reuse_layout().map_err(|e| e.to_string())?;
+            }
+        }
+        prod.phase4_relink().map_err(|e| e.to_string())?;
+        let hot_functions = prod
+            .wpa_output()
+            .map(|w| w.stats.hot_functions)
+            .unwrap_or(0);
+        let cache_delta = prod_caches.object_stats().since(&cache_before);
+        let achieved = prod
+            .evaluate(opts.eval_budget)
+            .map_err(|e| e.to_string())?
+            .speedup_pct();
+
+        // Oracle arm: the same release relinked against its own fresh
+        // collection — what a zero-staleness fleet would ship. Runs on
+        // its own cache chain so it never pollutes production's
+        // hit-rate accounting.
+        let mut oracle = Propeller::with_caches(
+            bench.program.clone(),
+            bench.entries.clone(),
+            popts.clone(),
+            oracle_caches.clone(),
+        );
+        oracle.phase1_compile().map_err(|e| e.to_string())?;
+        oracle.phase2_build_metadata().map_err(|e| e.to_string())?;
+        oracle
+            .phase3_analyze_merged(&fresh_agg, fresh_bytes)
+            .map_err(|e| e.to_string())?;
+        oracle.phase4_relink().map_err(|e| e.to_string())?;
+        let oracle_speedup = oracle
+            .evaluate(opts.eval_budget)
+            .map_err(|e| e.to_string())?
+            .speedup_pct();
+
+        records.push(ReleaseRecord {
+            release,
+            functions: bench.program.num_functions(),
+            skew,
+            decision: decision_str,
+            achieved_speedup_pct: achieved,
+            oracle_speedup_pct: oracle_speedup,
+            gap_pct: oracle_speedup - achieved,
+            hot_functions,
+            cache_lookups: cache_delta.lookups,
+            cache_hits: cache_delta.hits,
+            cache_hit_rate: cache_delta.hit_rate(),
+            translated_records,
+            dropped_records,
+        });
+
+        history.push(HistoryEntry {
+            pm_binary: pm,
+            machine_profiles,
+            release,
+        });
+        if history.len() > opts.history_window as usize {
+            let excess = history.len() - opts.history_window as usize;
+            history.drain(..excess);
+        }
+    }
+
+    Ok(FleetReport {
+        benchmark: spec.name.to_string(),
+        scale,
+        seed: opts.seed,
+        drift: opts.drift,
+        machines: opts.machines,
+        skew_threshold: opts.policy.max_skew,
+        history_window: opts.history_window,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_budgets_conserve_and_skew_zipf() {
+        let b = machine_budgets(100_000, 4);
+        assert_eq!(b.iter().sum::<u64>(), 100_000);
+        assert!(b[0] > b[1] && b[1] > b[2] && b[2] > b[3]);
+        assert_eq!(machine_budgets(7, 1), vec![7]);
+        assert_eq!(machine_budgets(0, 3).iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn report_json_and_csv_round_the_same_records() {
+        let report = FleetReport {
+            benchmark: "clang".into(),
+            scale: 0.004,
+            seed: 77,
+            drift: 0.0,
+            machines: 2,
+            skew_threshold: 0.4,
+            history_window: 3,
+            records: vec![ReleaseRecord {
+                release: 0,
+                functions: 100,
+                skew: 0.0,
+                decision: "bootstrap".into(),
+                achieved_speedup_pct: 5.0,
+                oracle_speedup_pct: 5.0,
+                gap_pct: 0.0,
+                hot_functions: 12,
+                cache_lookups: 40,
+                cache_hits: 10,
+                cache_hit_rate: 0.25,
+                translated_records: 0,
+                dropped_records: 0,
+            }],
+        };
+        let json = report.to_json_string();
+        assert!(json.contains("\"decision\": \"bootstrap\""));
+        assert!(json.contains("\"skew_threshold\": 0.4"));
+        let csv = report.curve_csv();
+        assert!(csv.starts_with("release,skew,decision"));
+        assert!(csv.contains("0,0,bootstrap,5,5,0,0.25"));
+    }
+
+    #[test]
+    fn steady_check_ignores_release_index_and_warmup() {
+        let row = |release: u32, skew: f64| ReleaseRecord {
+            release,
+            functions: 10,
+            skew,
+            decision: "relink".into(),
+            achieved_speedup_pct: 1.0,
+            oracle_speedup_pct: 1.0,
+            gap_pct: 0.0,
+            hot_functions: 2,
+            cache_lookups: 5,
+            cache_hits: 5,
+            cache_hit_rate: 1.0,
+            translated_records: 9,
+            dropped_records: 0,
+        };
+        let mut report = FleetReport {
+            benchmark: "x".into(),
+            scale: 1.0,
+            seed: 1,
+            drift: 0.0,
+            machines: 1,
+            skew_threshold: 0.4,
+            history_window: 2,
+            records: vec![row(0, 0.9), row(1, 0.5), row(2, 0.1), row(3, 0.1), row(4, 0.1)],
+        };
+        assert!(report.steady_after_warmup(2));
+        assert!(!report.steady_after_warmup(0));
+        report.records[4].skew = 0.2;
+        assert!(!report.steady_after_warmup(2));
+        // An all-warmup report is vacuously steady.
+        assert!(report.steady_after_warmup(10));
+    }
+}

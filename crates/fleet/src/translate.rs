@@ -1,0 +1,203 @@
+//! Cross-binary profile translation.
+//!
+//! Samples are collected on the binary a machine actually runs —
+//! release *j* — but the relink consuming them targets release *k*.
+//! Raw LBR addresses are meaningless across binaries, so each record is
+//! lifted to the layout-stable coordinate `(function symbol, block id,
+//! offset in block)` via the old binary's BB address map, then
+//! re-encoded against the new binary's final layout. This is the same
+//! invariance trick the skew score uses: block ids survive both
+//! relinking and moderate source churn, while addresses survive
+//! neither.
+//!
+//! Anything that no longer exists in the new binary — a deleted
+//! function, a block past a shrunken body — is dropped and counted:
+//! drop rates are themselves a staleness signal (a release that loses
+//! half its translated records is telling you its profile is old).
+
+use propeller_linker::LinkedBinary;
+use propeller_profile::{HardwareProfile, LbrRecord, LbrSample};
+use propeller_wpa::AddressMapper;
+use std::collections::BTreeMap;
+
+/// Accounting for one translation pass.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct TranslationStats {
+    /// Records entering translation.
+    pub records_in: u64,
+    /// Records dropped (either end unmapped in the old binary, or its
+    /// `(symbol, block)` absent from the new one).
+    pub records_dropped: u64,
+    /// Samples whose every record was dropped (the sample vanishes).
+    pub samples_dropped: u64,
+}
+
+impl TranslationStats {
+    /// Fraction of records that survived translation (1.0 on empty
+    /// input).
+    pub fn survival_rate(&self) -> f64 {
+        if self.records_in == 0 {
+            1.0
+        } else {
+            (self.records_in - self.records_dropped) as f64 / self.records_in as f64
+        }
+    }
+}
+
+/// Translates `profile` (collected on the binary behind `old_mapper`)
+/// into `new_binary`'s address space.
+///
+/// When both binaries are identical the translation is the identity:
+/// every record maps to its own address, byte for byte — the zero-drift
+/// control arm of the fleet loop depends on this.
+pub fn translate_profile(
+    profile: &HardwareProfile,
+    old_mapper: &AddressMapper,
+    new_binary: &LinkedBinary,
+) -> (HardwareProfile, TranslationStats) {
+    // (symbol, block id) -> (start address, size) in the new binary.
+    let mut new_blocks: BTreeMap<(&str, u32), (u64, u32)> = BTreeMap::new();
+    for f in &new_binary.layout.functions {
+        for b in &f.blocks {
+            new_blocks.insert((f.func_symbol.as_str(), b.block.0), (b.addr, b.size));
+        }
+    }
+    let mut stats = TranslationStats::default();
+    let mut out = HardwareProfile::new(&new_binary.name);
+    let translate_addr = |addr: u64| -> Option<u64> {
+        let loc = old_mapper.lookup(addr)?;
+        let &(start, size) = new_blocks.get(&(loc.func_symbol.as_str(), loc.bb_id))?;
+        // A shrunken block clamps the offset to its new extent; the
+        // record stays attributed to the right block, which is all the
+        // aggregation downstream keys on.
+        Some(start + u64::from(loc.offset_in_block.min(size.saturating_sub(1))))
+    };
+    for sample in &profile.samples {
+        let mut records = Vec::with_capacity(sample.records.len());
+        for rec in &sample.records {
+            stats.records_in += 1;
+            match (translate_addr(rec.from), translate_addr(rec.to)) {
+                (Some(from), Some(to)) => records.push(LbrRecord { from, to }),
+                _ => stats.records_dropped += 1,
+            }
+        }
+        if records.is_empty() {
+            stats.samples_dropped += 1;
+        } else {
+            out.samples.push(LbrSample::new(records));
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_codegen::{codegen_module, CodegenOptions};
+    use propeller_ir::{BlockId, FunctionBuilder, Inst, ProgramBuilder, Terminator};
+    use propeller_linker::{link, LinkInput, LinkOptions};
+
+    fn binary(extra_fn: bool) -> LinkedBinary {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m.cc");
+        let mut f = FunctionBuilder::new("alpha");
+        f.add_block(
+            vec![Inst::Alu; 3],
+            Terminator::CondBr {
+                taken: BlockId(1),
+                fallthrough: BlockId(2),
+                prob_taken: 0.5,
+            },
+        );
+        f.add_block(vec![Inst::Load; 2], Terminator::Ret);
+        f.add_block(vec![Inst::Load; 4], Terminator::Ret);
+        pb.add_function(m, f);
+        if extra_fn {
+            let mut g = FunctionBuilder::new("beta");
+            g.add_block(vec![Inst::Store; 2], Terminator::Ret);
+            pb.add_function(m, g);
+        }
+        let p = pb.finish().unwrap();
+        let r = codegen_module(&p.modules()[0], &p, &CodegenOptions::with_labels()).unwrap();
+        link(
+            &[LinkInput::new(r.object, r.debug_layout)],
+            &LinkOptions::default(),
+        )
+        .unwrap()
+    }
+
+    fn block_addr(bin: &LinkedBinary, func: &str, block: u32) -> u64 {
+        bin.layout
+            .functions
+            .iter()
+            .find(|f| f.func_symbol == func)
+            .unwrap()
+            .blocks
+            .iter()
+            .find(|b| b.block == BlockId(block))
+            .unwrap()
+            .addr
+    }
+
+    #[test]
+    fn identical_binaries_translate_to_identity() {
+        let bin = binary(true);
+        let mapper = AddressMapper::from_binary(&bin);
+        let b0 = block_addr(&bin, "alpha", 0);
+        let b1 = block_addr(&bin, "alpha", 1);
+        let mut prof = HardwareProfile::new("old");
+        prof.samples.push(LbrSample::new(vec![
+            LbrRecord { from: b0 + 2, to: b1 },
+            LbrRecord { from: b1 + 1, to: b0 },
+        ]));
+        let (t, stats) = translate_profile(&prof, &mapper, &bin);
+        assert_eq!(stats.records_dropped, 0);
+        assert_eq!(stats.records_in, 2);
+        assert_eq!(t.samples.len(), 1);
+        assert_eq!(t.samples[0].records, prof.samples[0].records);
+        assert_eq!(stats.survival_rate(), 1.0);
+    }
+
+    #[test]
+    fn records_in_deleted_functions_drop_and_are_counted() {
+        let old = binary(true);
+        let new = binary(false); // beta no longer exists
+        let mapper = AddressMapper::from_binary(&old);
+        let beta0 = block_addr(&old, "beta", 0);
+        let alpha0 = block_addr(&old, "alpha", 0);
+        let mut prof = HardwareProfile::new("old");
+        // One record wholly inside beta (dropped), one inside alpha
+        // (survives, possibly at a shifted address).
+        prof.samples.push(LbrSample::new(vec![
+            LbrRecord { from: beta0, to: beta0 + 1 },
+            LbrRecord { from: alpha0, to: alpha0 + 1 },
+        ]));
+        // A sample made only of beta records vanishes entirely.
+        prof.samples
+            .push(LbrSample::new(vec![LbrRecord { from: beta0, to: beta0 }]));
+        let (t, stats) = translate_profile(&prof, &mapper, &new);
+        assert_eq!(stats.records_in, 3);
+        assert_eq!(stats.records_dropped, 2);
+        assert_eq!(stats.samples_dropped, 1);
+        assert_eq!(t.samples.len(), 1);
+        assert_eq!(t.samples[0].records.len(), 1);
+        let a0_new = block_addr(&new, "alpha", 0);
+        assert_eq!(t.samples[0].records[0].from, a0_new);
+        assert!(stats.survival_rate() > 0.3 && stats.survival_rate() < 0.4);
+    }
+
+    #[test]
+    fn unmapped_old_addresses_drop() {
+        let bin = binary(false);
+        let mapper = AddressMapper::from_binary(&bin);
+        let mut prof = HardwareProfile::new("old");
+        prof.samples.push(LbrSample::new(vec![LbrRecord {
+            from: 0xdead_0000,
+            to: 0xbeef_0000,
+        }]));
+        let (t, stats) = translate_profile(&prof, &mapper, &bin);
+        assert_eq!(t.samples.len(), 0);
+        assert_eq!(stats.records_dropped, 1);
+        assert_eq!(stats.samples_dropped, 1);
+    }
+}

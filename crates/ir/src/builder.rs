@@ -85,6 +85,11 @@ impl FunctionBuilder {
     pub fn num_blocks(&self) -> usize {
         self.blocks.len()
     }
+
+    /// Decomposes the builder for [`crate::Program::push_function`].
+    pub(crate) fn into_parts(self) -> (String, Vec<BasicBlock>) {
+        (self.name, self.blocks)
+    }
 }
 
 /// Incrementally constructs a [`Program`].

@@ -58,6 +58,36 @@ impl Program {
         self.modules.len()
     }
 
+    /// Appends a new function to an existing module, returning its id.
+    ///
+    /// Ids stay dense: the new function receives the next id after the
+    /// current maximum, exactly as [`crate::ProgramBuilder::add_function`]
+    /// would have assigned it. This is the structural-edit entry point
+    /// for program evolution (release-over-release mutation in the
+    /// fleet simulator): unlike [`Program::modules_mut`], it keeps the
+    /// function index consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` does not exist.
+    pub fn push_function(
+        &mut self,
+        module: ModuleId,
+        builder: crate::FunctionBuilder,
+    ) -> FunctionId {
+        let id = FunctionId(self.num_functions() as u32);
+        let (name, blocks) = builder.into_parts();
+        let m = &mut self.modules[module.index()];
+        self.index.insert(id, (module.index(), m.functions.len()));
+        m.functions.push(Function {
+            id,
+            name,
+            module,
+            blocks,
+        });
+        id
+    }
+
     /// Computes aggregate characteristics (the Table 2 columns).
     pub fn stats(&self) -> ProgramStats {
         ProgramStats::compute(self)
@@ -123,6 +153,21 @@ mod tests {
     #[test]
     fn validate_accepts_cross_module_calls() {
         two_module_program().validate().unwrap();
+    }
+
+    #[test]
+    fn push_function_keeps_ids_dense_and_index_consistent() {
+        let mut p = two_module_program();
+        let m1 = p.modules()[1].id;
+        let mut h = FunctionBuilder::new("gamma");
+        h.add_block(vec![Inst::Alu; 2], Terminator::Ret);
+        let id = p.push_function(m1, h);
+        assert_eq!(id.0, 2, "next dense id after the two existing functions");
+        assert_eq!(p.num_functions(), 3);
+        let f = p.function(id).unwrap();
+        assert_eq!(f.name, "gamma");
+        assert_eq!(f.module, m1);
+        p.validate().unwrap();
     }
 
     #[test]

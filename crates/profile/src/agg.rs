@@ -21,23 +21,42 @@ pub struct AggregatedProfile {
 
 impl AggregatedProfile {
     /// Aggregates a raw profile.
+    ///
+    /// Counts saturate at `u64::MAX` instead of wrapping: a fleet-scale
+    /// merge feeding months of samples through one edge must degrade to
+    /// a pinned counter, not a tiny wrapped one that would silently
+    /// reclassify the hottest edge as cold.
     pub fn from_profile(profile: &HardwareProfile) -> Self {
         let mut agg = AggregatedProfile::default();
         for sample in &profile.samples {
             for rec in &sample.records {
-                *agg.branches.entry((rec.from, rec.to)).or_insert(0) += 1;
+                let e = agg.branches.entry((rec.from, rec.to)).or_insert(0);
+                *e = e.saturating_add(1);
             }
             for pair in sample.records.windows(2) {
                 let range = (pair[0].to, pair[1].from);
-                *agg.fallthroughs.entry(range).or_insert(0) += 1;
+                let e = agg.fallthroughs.entry(range).or_insert(0);
+                *e = e.saturating_add(1);
             }
         }
         agg
     }
 
-    /// Total taken-branch count.
+    /// Total taken-branch count, saturating at `u64::MAX` (a
+    /// multi-machine merge can legitimately hold several near-full
+    /// counters whose exact sum exceeds 64 bits).
     pub fn total_branch_count(&self) -> u64 {
-        self.branches.values().sum()
+        self.branches
+            .values()
+            .fold(0u64, |acc, &v| acc.saturating_add(v))
+    }
+
+    /// Total fall-through range count, saturating like
+    /// [`AggregatedProfile::total_branch_count`].
+    pub fn total_fallthrough_count(&self) -> u64 {
+        self.fallthroughs
+            .values()
+            .fold(0u64, |acc, &v| acc.saturating_add(v))
     }
 
     /// Number of distinct branch edges observed.
@@ -92,5 +111,44 @@ mod tests {
         let agg = AggregatedProfile::from_profile(&HardwareProfile::new("x"));
         assert_eq!(agg.total_branch_count(), 0);
         assert_eq!(agg.modeled_memory_bytes(), 0);
+    }
+
+    #[test]
+    fn totals_saturate_at_u64_max_adjacent_weights() {
+        // A merged fleet profile can hold counters near u64::MAX; the
+        // totals must pin at the ceiling instead of wrapping around to
+        // a small number.
+        let mut agg = AggregatedProfile::default();
+        agg.branches.insert((1, 2), u64::MAX - 1);
+        agg.branches.insert((3, 4), 2);
+        agg.branches.insert((5, 6), u64::MAX);
+        assert_eq!(agg.total_branch_count(), u64::MAX);
+        agg.fallthroughs.insert((2, 3), u64::MAX);
+        agg.fallthroughs.insert((4, 5), 1);
+        assert_eq!(agg.total_fallthrough_count(), u64::MAX);
+    }
+
+    #[test]
+    fn per_edge_counts_saturate_instead_of_wrapping() {
+        let mut agg = AggregatedProfile::default();
+        agg.branches.insert((100, 200), u64::MAX);
+        agg.fallthroughs.insert((200, 220), u64::MAX);
+        // Re-aggregating one more observation of the same edge on top
+        // of a pinned counter must stay pinned. (Simulates the merge
+        // path folding a fresh machine profile into saturated state.)
+        let mut p = HardwareProfile::new("b");
+        p.samples
+            .push(LbrSample::new(vec![rec(100, 200), rec(220, 300)]));
+        let fresh = AggregatedProfile::from_profile(&p);
+        for (k, v) in fresh.branches {
+            let e = agg.branches.entry(k).or_insert(0);
+            *e = e.saturating_add(v);
+        }
+        for (k, v) in fresh.fallthroughs {
+            let e = agg.fallthroughs.entry(k).or_insert(0);
+            *e = e.saturating_add(v);
+        }
+        assert_eq!(agg.branches[&(100, 200)], u64::MAX);
+        assert_eq!(agg.fallthroughs[&(200, 220)], u64::MAX);
     }
 }

@@ -11,8 +11,10 @@
 
 mod agg;
 mod lbr;
+mod merge;
 mod salvage;
 
 pub use agg::AggregatedProfile;
 pub use lbr::{HardwareProfile, LbrRecord, LbrSample, SamplingConfig, LBR_DEPTH};
+pub use merge::{effective_weight, merge_profiles, MergeOptions, ProfileSource};
 pub use salvage::{degrade_profile, salvage_profile, SalvageStats};

@@ -18,7 +18,9 @@
 //! through the scale factor).
 
 mod gen;
+mod mutate;
 mod spec;
 
 pub use gen::{generate, GeneratedBenchmark, GenParams};
+pub use mutate::{evolve, DriftParams};
 pub use spec::{all_specs, spec_by_name, BenchKind, BenchmarkSpec};

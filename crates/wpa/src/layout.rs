@@ -158,19 +158,47 @@ pub fn run_wpa_traced(
     tel: &Telemetry,
     parent: Option<SpanId>,
 ) -> WpaOutput {
+    let agg = AggregatedProfile::from_profile(profile);
+    run_wpa_agg_traced(
+        program,
+        binary,
+        &agg,
+        profile.raw_size_bytes(),
+        opts,
+        tel,
+        parent,
+    )
+}
+
+/// [`run_wpa_traced`] over an already-aggregated profile.
+///
+/// The fleet lifecycle merges many machines' samples (with weights and
+/// age decay) before analysis, so the raw [`HardwareProfile`] no longer
+/// exists by the time WPA runs; this entry point accepts the merged
+/// counts directly. `profile_bytes` is the modeled raw size of the
+/// samples that fed the aggregation, carried into [`WpaStats`] for the
+/// memory model.
+pub fn run_wpa_agg_traced(
+    program: &Program,
+    binary: &LinkedBinary,
+    agg: &AggregatedProfile,
+    profile_bytes: u64,
+    opts: &WpaOptions,
+    tel: &Telemetry,
+    parent: Option<SpanId>,
+) -> WpaOutput {
     let mut wpa_span = tel.span_under("wpa", parent);
     let wpa_id = wpa_span.id();
-    let agg = {
+    {
         let _s = tel.span_under("wpa.aggregate_profile", wpa_id);
-        AggregatedProfile::from_profile(profile)
-    };
+    }
     let mapper = {
         let _s = tel.span_under("wpa.address_mapping", wpa_id);
         AddressMapper::from_binary(binary)
     };
     let dcfg = {
         let mut s = tel.span_under("wpa.dynamic_cfg", wpa_id);
-        let dcfg = Dcfg::build(&mapper, &agg);
+        let dcfg = Dcfg::build(&mapper, agg);
         s.set_peak_bytes(mapper.modeled_memory_bytes() + dcfg.modeled_memory_bytes());
         dcfg
     };
@@ -190,7 +218,7 @@ pub fn run_wpa_traced(
     let mut stats = WpaStats {
         functions_seen: binary.bb_addr_map.functions.len(),
         dcfg_edges: dcfg.num_edges(),
-        profile_bytes: profile.raw_size_bytes(),
+        profile_bytes,
         skipped_funcs: mapper.num_skipped_functions(),
         addr_lookups: dcfg.addr_lookups,
         addr_unmapped: dcfg.addr_unmapped,

@@ -354,3 +354,132 @@ proptest! {
         );
     }
 }
+
+/// Strategy: a small aggregated profile as raw edge maps (addresses
+/// drawn from a tiny universe so inputs share edges often).
+fn arb_agg() -> impl Strategy<Value = propeller_profile::AggregatedProfile> {
+    use propeller_profile::AggregatedProfile;
+    let edge = || (0u64..6, 0u64..6, 1u64..500);
+    (
+        prop::collection::vec(edge(), 0..8),
+        prop::collection::vec(edge(), 0..8),
+    )
+        .prop_map(|(br, ft)| {
+            let mut agg = AggregatedProfile::default();
+            for (f, t, c) in br {
+                *agg.branches.entry((f, t)).or_insert(0) += c;
+            }
+            for (f, t, c) in ft {
+                *agg.fallthroughs.entry((f, t)).or_insert(0) += c;
+            }
+            agg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merged totals equal the sum of the inputs' totals, exactly,
+    /// whatever the machine weights — sample mass is conserved through
+    /// normalization (no decay, so no source drops out).
+    #[test]
+    fn merge_conserves_sample_mass(
+        aggs in prop::collection::vec(arb_agg(), 1..5),
+        weights in prop::collection::vec(1u64..1000, 5),
+    ) {
+        use propeller_profile::{merge_profiles, MergeOptions, ProfileSource};
+        let expect_br: u64 = aggs.iter().map(|a| a.total_branch_count()).sum();
+        let expect_ft: u64 = aggs.iter().map(|a| a.total_fallthrough_count()).sum();
+        let sources: Vec<ProfileSource> = aggs
+            .into_iter()
+            .zip(weights)
+            .map(|(agg, weight)| ProfileSource { agg, weight, age: 0 })
+            .collect();
+        let merged = merge_profiles(&sources, &MergeOptions::no_decay());
+        prop_assert_eq!(merged.total_branch_count(), expect_br);
+        prop_assert_eq!(merged.total_fallthrough_count(), expect_ft);
+    }
+
+    /// Merging is commutative: any permutation of the sources produces
+    /// the identical aggregate (the implementation orders edges
+    /// deterministically, so equality is exact, not just up to
+    /// reordering).
+    #[test]
+    fn merge_is_commutative_under_source_permutation(
+        aggs in prop::collection::vec(arb_agg(), 2..5),
+        weights in prop::collection::vec(1u64..1000, 5),
+        ages in prop::collection::vec(0u32..4, 5),
+        rot in 1usize..4,
+    ) {
+        use propeller_profile::{merge_profiles, MergeOptions, ProfileSource};
+        let sources: Vec<ProfileSource> = aggs
+            .into_iter()
+            .zip(weights)
+            .zip(ages)
+            .map(|((agg, weight), age)| ProfileSource { agg, weight, age })
+            .collect();
+        let mut rotated = sources.clone();
+        rotated.rotate_left(rot % sources.len());
+        let opts = MergeOptions::default();
+        let a = merge_profiles(&sources, &opts);
+        let b = merge_profiles(&rotated, &opts);
+        prop_assert_eq!(a.branches, b.branches);
+        prop_assert_eq!(a.fallthroughs, b.fallthroughs);
+    }
+
+    /// Merging equal-weight same-age sources without decay is exact
+    /// edgewise addition — which also gives associativity: any
+    /// grouping of such sources sums to the same aggregate.
+    #[test]
+    fn merge_of_uniform_sources_is_edgewise_addition(
+        aggs in prop::collection::vec(arb_agg(), 1..5),
+    ) {
+        use propeller_profile::{merge_profiles, MergeOptions, ProfileSource};
+        use std::collections::HashMap;
+        let mut expect_br: HashMap<(u64, u64), u64> = HashMap::new();
+        let mut expect_ft: HashMap<(u64, u64), u64> = HashMap::new();
+        for a in &aggs {
+            for (k, v) in &a.branches {
+                *expect_br.entry(*k).or_insert(0) += v;
+            }
+            for (k, v) in &a.fallthroughs {
+                *expect_ft.entry(*k).or_insert(0) += v;
+            }
+        }
+        let sources: Vec<ProfileSource> = aggs
+            .into_iter()
+            .map(|agg| ProfileSource { agg, weight: 7, age: 2 })
+            .collect();
+        let merged = merge_profiles(&sources, &MergeOptions::no_decay());
+        prop_assert_eq!(merged.branches, expect_br);
+        prop_assert_eq!(merged.fallthroughs, expect_ft);
+    }
+
+    /// Age decay is monotone: the older a source gets, the smaller
+    /// (weakly) its share of the merged mass, measured on an edge only
+    /// that source contributes.
+    #[test]
+    fn merge_age_decay_is_monotone(
+        weight in 1u64..1000,
+        other_weight in 1u64..1000,
+        age_young in 0u32..4,
+        age_gap in 1u32..4,
+    ) {
+        use propeller_profile::{
+            merge_profiles, AggregatedProfile, MergeOptions, ProfileSource,
+        };
+        let mut probe = AggregatedProfile::default();
+        probe.branches.insert((100, 101), 10_000);
+        let mut other = AggregatedProfile::default();
+        other.branches.insert((200, 201), 10_000);
+        let share_at = |age: u32| -> u64 {
+            let sources = vec![
+                ProfileSource { agg: probe.clone(), weight, age },
+                ProfileSource { agg: other.clone(), weight: other_weight, age: 0 },
+            ];
+            let merged = merge_profiles(&sources, &MergeOptions::default());
+            merged.branches.get(&(100, 101)).copied().unwrap_or(0)
+        };
+        prop_assert!(share_at(age_young) >= share_at(age_young + age_gap));
+    }
+}
