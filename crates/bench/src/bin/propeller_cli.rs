@@ -7,6 +7,7 @@
 //! propeller_cli run <benchmark> [--scale S] [--seed N] [--out DIR]
 //!                   [--trace-out FILE] [--faults SPEC] [--jobs N]
 //!                   [--flamegraph-out FILE] [--heatmap-out FILE]
+//!                   [--provenance]
 //!     Generate the benchmark, run the 4-phase pipeline, evaluate
 //!     against the baseline, and (with --out) write cc_prof.txt and
 //!     ld_prof.txt — the two artifacts of Figure 1 — plus
@@ -29,6 +30,32 @@
 //!     Phase 2/4 codegen fan-out and Ext-TSP gain evaluation (default:
 //!     the machine's available parallelism; 1 forces the serial legacy
 //!     path) — every artifact is bit-identical at every job count.
+//!     --provenance arms full layout-decision provenance collection
+//!     (every Ext-TSP candidate merge with its gain and the best
+//!     rejected alternative, the profile edges funding each CFG edge
+//!     weight, final linker placements with relaxation deltas) and,
+//!     with --out, writes layout_provenance.json beside
+//!     run_report.json; arming never changes the layout or
+//!     run_report.json, and the provenance artifact itself is
+//!     bit-identical at every --jobs count.
+//!
+//! propeller_cli explain <benchmark> <function>[:<block>] [--scale S]
+//!                       [--seed N]
+//!     Explain one function's (or one basic block's) final layout end
+//!     to end: the sample mass it received, which profile edges funded
+//!     its CFG edge weights, every accepted Ext-TSP merge step with
+//!     its gain and the best rejected alternative at that moment, the
+//!     emitted hot-block order, the final placement slot and address
+//!     with per-symbol relaxation deltas, joined against the
+//!     attributed microarchitectural counters from simulating the
+//!     optimized binary.
+//!
+//! propeller_cli layout-diff <A.json> <B.json>
+//!     Diff two layout_provenance.json documents: symbols whose final
+//!     placement moved, ranked by attributed cycle delta (order delta
+//!     when attribution is absent), plus the first merge decision
+//!     where the two runs diverged. A self-diff prints `identical` —
+//!     the CI provenance gate greps for it.
 //!
 //! propeller_cli perf-report <benchmark> [--scale S] [--seed N]
 //!                           [--top N] [--event E] [--out FILE]
@@ -56,7 +83,11 @@
 //!     Run the pipeline and audit the profile it consumed: hot-text
 //!     sample coverage, unmapped-address rate, fall-through inference
 //!     confidence, sample-capture ratio, and the stale-profile skew
-//!     score from re-simulating the optimized binary. The report also
+//!     score from re-simulating the optimized binary. The run collects
+//!     layout provenance and audits it too: provenance.coverage WARNs
+//!     when hot functions lack decision records, and provenance.replay
+//!     WARNs when replaying the recorded merge steps does not
+//!     reconstruct the emitted order. The report also
 //!     compares measured wall-clock against the cost model per phase
 //!     (WARN when the pool ran >5x slower than perfect scaling at the
 //!     configured --jobs), and ends with the degradation section (what
@@ -93,7 +124,7 @@
 //! propeller_cli fleet [<benchmark>] [--releases N] [--machines M]
 //!                     [--drift D] [--scale S] [--seed N] [--jobs N]
 //!                     [--skew-threshold T] [--history-window W]
-//!                     [--out DIR]
+//!                     [--out DIR] [--provenance]
 //!     Simulate a continuous profile lifecycle: evolve the program
 //!     across N releases at drift rate D (0 = identical releases, the
 //!     control arm), collect LBR samples on each release from M
@@ -106,7 +137,11 @@
 //!     achieved speedup vs an oracle fresh-profile relink, the gap
 //!     between them, and the release's cache hit rate (the
 //!     speedup-vs-staleness curve). With --out, write
-//!     fleet_report.json and fleet_curve.csv. At --drift 0 the run
+//!     fleet_report.json and fleet_curve.csv. With --provenance, arm
+//!     layout-decision provenance on every relink and cite each
+//!     release's top placement divergences (first diverging merge
+//!     decision, biggest symbol moves) in its ledger row and
+//!     fleet_report.json. At --drift 0 the run
 //!     self-checks that post-warmup releases are bit-identical and
 //!     exits nonzero if not — the CI fleet gate.
 //!
@@ -122,9 +157,10 @@ use propeller::{
 };
 use propeller_bench::{run_benchmark, RunConfig};
 use propeller_doctor::{
-    audit_pipeline, degradation_findings, diagnose, diff_reports, render_annotate,
-    render_perf_report, trend_reports, AttributionSection, DoctorConfig, RelinkPolicy, RunReport,
-    Severity,
+    audit_pipeline, degradation_findings, diagnose, diff_docs, diff_reports,
+    provenance_findings, render_annotate, render_explain, render_layout_diff,
+    render_perf_report, trend_reports, AttributionSection, DoctorConfig, ProvenanceDoc,
+    RelinkPolicy, RunReport, Severity,
 };
 use propeller_fleet::{run_fleet, FleetOptions};
 use propeller_sim::{heatmap_csv, heatmap_pgm, AttributedCounters, Event, SimOptions};
@@ -137,12 +173,14 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: propeller_cli <list | run <bench> | doctor <bench> | chaos [bench] | \
          fleet [bench] | compare <bench> | perf-report <bench> | \
-         annotate <bench> <function> | diff <A.json> <B.json> [C.json ...] | \
+         annotate <bench> <function> | explain <bench> <function>[:<block>] | \
+         diff <A.json> <B.json> [C.json ...] | layout-diff <A.json> <B.json> | \
          dump <bench> | map <bench>> \
          [--scale S] [--seed N] [--out PATH] [--trace-out FILE] [--json] \
          [--tolerance PCT] [--faults SPEC] [--jobs N] [--top N] [--event E] \
          [--releases N] [--machines M] [--drift D] [--skew-threshold T] \
-         [--history-window W] [--flamegraph-out FILE] [--heatmap-out FILE]"
+         [--history-window W] [--flamegraph-out FILE] [--heatmap-out FILE] \
+         [--provenance]"
     );
     ExitCode::FAILURE
 }
@@ -173,6 +211,7 @@ struct Args {
     heatmap_out: Option<String>,
     top: usize,
     event: Option<String>,
+    provenance: bool,
 }
 
 fn parse_args(mut rest: impl Iterator<Item = String>) -> Option<Args> {
@@ -190,6 +229,7 @@ fn parse_args(mut rest: impl Iterator<Item = String>) -> Option<Args> {
         heatmap_out: None,
         top: 10,
         event: None,
+        provenance: false,
     };
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -204,6 +244,7 @@ fn parse_args(mut rest: impl Iterator<Item = String>) -> Option<Args> {
             "--heatmap-out" => args.heatmap_out = Some(rest.next()?),
             "--top" => args.top = rest.next()?.parse().ok()?,
             "--event" => args.event = Some(rest.next()?),
+            "--provenance" => args.provenance = true,
             _ => return None,
         }
     }
@@ -250,6 +291,32 @@ fn options_for(args: &Args) -> Result<PropellerOptions, ExitCode> {
         }
     }
     Ok(opts)
+}
+
+/// Assembles the layout-provenance document from a pipeline that ran
+/// with `PropellerOptions::provenance` armed. The document is empty
+/// (but well-formed) when the run was not armed.
+fn collect_provenance(
+    pipeline: &Propeller,
+    benchmark: &str,
+    scale: f64,
+    seed: u64,
+) -> ProvenanceDoc {
+    let wpa = pipeline.wpa_output().expect("phase 3 ran");
+    let rich = wpa.rich.clone().unwrap_or_default();
+    let placements = pipeline
+        .po_binary()
+        .map(|b| b.placements.clone())
+        .unwrap_or_default();
+    ProvenanceDoc::collect(
+        benchmark,
+        scale,
+        seed,
+        &rich,
+        &wpa.provenance,
+        &placements,
+        None,
+    )
 }
 
 fn write_file(path: &std::path::Path, contents: String) -> Result<(), ExitCode> {
@@ -512,6 +579,9 @@ fn main() -> ExitCode {
             if args.flamegraph_out.is_some() {
                 opts.attribution = true;
             }
+            if args.provenance {
+                opts.provenance = true;
+            }
             let mut pipeline = Propeller::new(gen.program, gen.entries, opts);
             // `--out` embeds a metrics snapshot in the RunReport, so
             // telemetry must be live for either output flag.
@@ -622,6 +692,27 @@ fn main() -> ExitCode {
                         return code;
                     }
                 }
+                if args.provenance {
+                    let mut doc =
+                        collect_provenance(&pipeline, spec.name, scale, args.seed);
+                    if let Some(attr) = pipeline.profile_attribution() {
+                        doc.attribution = attr
+                            .symbols
+                            .iter()
+                            .map(|s| (s.name.clone(), s.total.cycles))
+                            .collect();
+                    }
+                    if let Err(e) = doc.validate_replay() {
+                        eprintln!("provenance replay check failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    if let Err(code) = write_file(
+                        &dir.join("layout_provenance.json"),
+                        doc.to_json_string(),
+                    ) {
+                        return code;
+                    }
+                }
             }
             ExitCode::SUCCESS
         }
@@ -642,10 +733,14 @@ fn main() -> ExitCode {
                     entry_points: 4,
                 },
             );
-            let opts = match options_for(&args) {
+            let mut opts = match options_for(&args) {
                 Ok(o) => o,
                 Err(code) => return code,
             };
+            // The doctor always collects provenance: arming changes
+            // no layout and no report, and the coverage/replay audit
+            // needs the decision records to exist.
+            opts.provenance = true;
             let jobs = opts.jobs;
             let mut pipeline = Propeller::new(gen.program, gen.entries, opts);
             if let Err(e) = pipeline.run_all() {
@@ -659,8 +754,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let mut findings = diagnose(&audit, &DoctorConfig::default());
+            let cfg = DoctorConfig::default();
+            let mut findings = diagnose(&audit, &cfg);
             findings.extend(propeller_doctor::wall_clock_findings(pipeline.times(), jobs));
+            let scale = args.scale.unwrap_or(spec.default_scale);
+            let doc = collect_provenance(&pipeline, spec.name, scale, args.seed);
+            let wpa = pipeline.wpa_output().expect("phase 3 ran");
+            findings.extend(provenance_findings(&wpa.provenance, &doc, &cfg));
             findings.extend(degradation_findings(pipeline.degradation()));
             print!("{}", propeller_doctor::render(&findings));
             if propeller_doctor::worst(&findings) == Severity::Fail {
@@ -733,6 +833,7 @@ fn main() -> ExitCode {
                     "--jobs" => fopts.jobs = val!(),
                     "--skew-threshold" => fopts.policy = RelinkPolicy { max_skew: val!() },
                     "--history-window" => fopts.history_window = val!(),
+                    "--provenance" => fopts.provenance = true,
                     "--out" => {
                         let Some(dir) = argv.next() else {
                             return usage();
@@ -784,6 +885,9 @@ fn main() -> ExitCode {
                     r.cache_hit_rate * 100.0,
                     r.dropped_records,
                 );
+                for d in &r.divergences {
+                    println!("         | {d}");
+                }
             }
             println!("mean post-bootstrap gap: {:.3}%", report.mean_gap_pct());
             if let Some(dir) = &out {
@@ -1024,6 +1128,66 @@ fn main() -> ExitCode {
             print!("{}", render_annotate(sym, event, prov));
             ExitCode::SUCCESS
         }
+        Some("explain") => {
+            let Some(bench) = argv.next().filter(|t| !t.starts_with("--")) else {
+                return usage();
+            };
+            let Some(target) = argv.next().filter(|t| !t.starts_with("--")) else {
+                return usage();
+            };
+            let Some(args) = parse_args(std::iter::once(bench).chain(argv)) else {
+                return usage();
+            };
+            // `<function>[:<block>]` — the suffix is a block id only
+            // when it parses as a number, so plain symbol names that
+            // happen to contain a colon keep working.
+            let (function, block) = match target.rsplit_once(':') {
+                Some((f, b)) => match b.parse::<u32>() {
+                    Ok(id) => (f.to_string(), Some(id)),
+                    Err(_) => (target.clone(), None),
+                },
+                None => (target.clone(), None),
+            };
+            let mut cfg = RunConfig {
+                seed: args.seed,
+                provenance: true,
+                ..RunConfig::default()
+            };
+            if let Some(s) = args.scale {
+                cfg.scale_mult = s; // multiplier on the spec default
+            }
+            let a = run_benchmark(&args.benchmark, &cfg);
+            let doc = collect_provenance(&a.pipeline, a.spec.name, a.scale, args.seed);
+            // Simulate the shipped binary with attribution on, so the
+            // explanation ends at measured microarchitectural cost.
+            let opts = SimOptions {
+                attribution: true,
+                ..SimOptions::default()
+            };
+            let layouts = a.comparable_layouts();
+            let (_, prop_layout) = layouts
+                .iter()
+                .find(|(l, _)| *l == "propeller")
+                .expect("propeller layout always present");
+            let run = a.simulate_layout_full(prop_layout, &opts);
+            let attr = run.attribution.as_ref().expect("attribution requested");
+            match render_explain(&doc, &function, block, attr.symbol(&function)) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    let hot = attr.top_by(Event::Cycles, 10);
+                    if !hot.is_empty() {
+                        let names: Vec<&str> =
+                            hot.iter().map(|&i| attr.symbols[i].name.as_str()).collect();
+                        eprintln!("hottest symbols: {}", names.join(", "));
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("diff") => {
             let mut paths: Vec<String> = Vec::new();
             let mut tolerance = 0.0f64;
@@ -1078,6 +1242,36 @@ fn main() -> ExitCode {
             } else {
                 ExitCode::SUCCESS
             }
+        }
+        Some("layout-diff") => {
+            let mut paths: Vec<String> = Vec::new();
+            for tok in argv {
+                if tok.starts_with("--") {
+                    return usage();
+                }
+                paths.push(tok);
+            }
+            if paths.len() != 2 {
+                return usage();
+            }
+            let load = |path: &str| -> Result<ProvenanceDoc, ExitCode> {
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                })?;
+                ProvenanceDoc::parse(&text).map_err(|e| {
+                    eprintln!("cannot parse {path}: {e}");
+                    ExitCode::FAILURE
+                })
+            };
+            let (a, b) = match (load(&paths[0]), load(&paths[1])) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            // Divergence between two runs is information, not failure:
+            // always exit zero so CI can diff across releases.
+            print!("{}", render_layout_diff(&paths[0], &paths[1], &diff_docs(&a, &b)));
+            ExitCode::SUCCESS
         }
         Some("dump") => {
             let Some(args) = parse_args(argv) else {

@@ -29,6 +29,9 @@ pub struct RunConfig {
     /// Telemetry handle threaded into the pipeline; disabled by
     /// default, so uninstrumented runs pay one branch per site.
     pub tel: Telemetry,
+    /// Arm full layout-decision provenance collection in Phase 3.
+    /// Off by default; arming never changes any layout or report.
+    pub provenance: bool,
 }
 
 impl Default for RunConfig {
@@ -39,6 +42,7 @@ impl Default for RunConfig {
             eval_budget: 800_000,
             seed: 0xA5_2023,
             tel: Telemetry::disabled(),
+            provenance: false,
         }
     }
 }
@@ -309,6 +313,7 @@ pub fn run_benchmark(name: &str, cfg: &RunConfig) -> BenchArtifacts {
         uarch,
         machine,
         seed: cfg.seed,
+        provenance: cfg.provenance,
         ..PropellerOptions::default()
     };
     let cost = opts.cost;

@@ -79,6 +79,11 @@ pub struct PropellerOptions {
     /// Attribute the Phase 3 profiling run's events to symbols and
     /// blocks (the `perf report` view); off by default.
     pub attribution: bool,
+    /// Record full layout decision provenance during Phase 3: every
+    /// Ext-TSP merge evaluated (accepted and rejected), and which
+    /// profile edges funded each CFG edge weight. Off by default;
+    /// arming never changes the layout or any default report.
+    pub provenance: bool,
     /// Worker threads for real local work: the codegen fan-out of
     /// Phases 2/4 and the Ext-TSP gain evaluation. Defaults to the
     /// machine's available parallelism; `1` forces the exact serial
@@ -103,6 +108,7 @@ impl Default for PropellerOptions {
             profile_floor: 0.25,
             heatmap: None,
             attribution: false,
+            provenance: false,
             jobs: propeller_buildsys::default_jobs(),
         }
     }
@@ -218,6 +224,8 @@ impl Propeller {
         // One knob drives every parallel stage: the Ext-TSP gain
         // evaluation honors the same worker count as the codegen pool.
         opts.wpa.exttsp.jobs = opts.jobs;
+        // One knob arms every provenance collector.
+        opts.wpa.provenance = opts.provenance;
         let injector = if opts.faults.is_none() {
             None
         } else {

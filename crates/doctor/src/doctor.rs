@@ -71,6 +71,10 @@ pub struct DoctorConfig {
     /// getting the parallelism it was asked for (oversubscribed
     /// machine, serialized work, or lock contention).
     pub wall_divergence_warn: f64,
+    /// Provenance coverage (hot functions with a full decision record /
+    /// hot functions) below this warns (default 0.95). Only consulted
+    /// when a provenance document was collected at all.
+    pub provenance_coverage_warn: f64,
 }
 
 impl Default for DoctorConfig {
@@ -86,6 +90,7 @@ impl Default for DoctorConfig {
             skew_warn: 0.40,
             skew_fail: 0.70,
             wall_divergence_warn: 5.0,
+            provenance_coverage_warn: 0.95,
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod diff;
 pub mod doctor;
 pub mod perf;
 pub mod policy;
+pub mod provenance;
 pub mod report;
 
 pub use audit::{
@@ -47,4 +48,8 @@ pub use doctor::{
     DoctorConfig, Finding, Severity,
 };
 pub use perf::{render_annotate, render_perf_report, AttributionSection, SymbolCounters};
+pub use provenance::{
+    diff_docs, provenance_findings, render_explain, render_layout_diff, MovedSymbol,
+    ProvenanceDiff, ProvenanceDoc, ProvenanceFunction,
+};
 pub use report::RunReport;

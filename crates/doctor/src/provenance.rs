@@ -1,0 +1,1389 @@
+//! The end-to-end layout provenance document: samples → edge weights →
+//! merge decisions → placed bytes.
+//!
+//! A [`ProvenanceDoc`] joins everything the armed pipeline collected
+//! about *why* the final layout looks the way it does:
+//!
+//! * Phase 3's sample-to-edge **funding ledger** — which profile
+//!   address pairs, at what weight, funded each dynamic CFG edge;
+//! * the **replayable Ext-TSP record** per hot function — the exact
+//!   node/edge problem the optimizer was handed, every committed merge
+//!   with its gain and the best rejected alternative, and the emitted
+//!   hot-block order;
+//! * the linker's **placement record** — where each ordered symbol
+//!   landed, at what address, and what relaxation did to its bytes;
+//! * under fleet merges, which [`ProfileSource`]s contributed at what
+//!   decayed weight ([`propeller_profile::MergeProvenance`]).
+//!
+//! The document serializes to `layout_provenance.json` in a fixed
+//! member order and contains nothing run-environment-dependent (no
+//! wall clock, no job counts), so armed runs are byte-identical across
+//! repetitions and `--jobs` values. It is written *beside*
+//! `run_report.json`, never inside it: the default report surface is
+//! bit-identical whether or not provenance was armed.
+
+use crate::doctor::{DoctorConfig, Finding, Severity};
+use propeller_linker::SymbolPlacement;
+use propeller_profile::MergeProvenance;
+use propeller_sim::SymbolAttribution;
+use propeller_telemetry::JsonValue;
+use propeller_wpa::exttsp::{replay_merges, Edge, MergeStep, Node, RejectedAlt};
+use propeller_wpa::{
+    EdgeFunding, EdgeKind, FundingRecord, LayoutProvenance, RichProvenance,
+};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One hot function's full decision record inside a [`ProvenanceDoc`]:
+/// the Ext-TSP problem, the committed merge steps, and the emitted
+/// hot-block order the steps reconstruct.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProvenanceFunction {
+    /// The function's primary symbol.
+    pub func_symbol: String,
+    /// Mapper function index — joins the funding ledger.
+    pub func_index: u32,
+    /// Hot nodes exactly as handed to the optimizer.
+    pub nodes: Vec<Node>,
+    /// Hot-to-hot edges exactly as handed to the optimizer.
+    pub edges: Vec<Edge>,
+    /// Committed merges in commit order, each with the best rejected
+    /// alternative at commit time.
+    pub steps: Vec<MergeStep>,
+    /// Total candidate merge evaluations (accepted and rejected).
+    pub evaluations: u64,
+    /// Whether the optimizer fell back to the input order.
+    pub used_input_order: bool,
+    /// Ext-TSP score of the emitted order.
+    pub final_score: f64,
+    /// Ext-TSP score of the input order.
+    pub input_score: f64,
+    /// The emitted hot-block order (all hot clusters concatenated, in
+    /// cluster order). When `used_input_order` is false, replaying
+    /// `steps` over `nodes` reconstructs exactly this sequence.
+    pub order: Vec<u32>,
+}
+
+/// The `layout_provenance.json` document.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ProvenanceDoc {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Generation scale.
+    pub scale: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// One record per hot function, in address-map order.
+    pub functions: Vec<ProvenanceFunction>,
+    /// Which profile address pairs funded each CFG edge weight.
+    pub funding: EdgeFunding,
+    /// Final placement of every text symbol, in text order.
+    pub placements: Vec<SymbolPlacement>,
+    /// Fleet profile-merge contributions, when the profile that fed
+    /// WPA was merged from several sources. Omitted from the JSON when
+    /// absent.
+    pub merge_sources: Option<MergeProvenance>,
+    /// Per-symbol attributed cycles of the optimized binary's
+    /// evaluation run, when attribution was collected. Omitted from
+    /// the JSON when empty. `layout-diff` ranks moved symbols by this.
+    pub attribution: Vec<(String, u64)>,
+}
+
+impl ProvenanceDoc {
+    /// Assembles the document from the armed pipeline's collections.
+    ///
+    /// `layout` supplies the emitted hot-block order per function (the
+    /// concatenation of its hot clusters); `rich` supplies the
+    /// replayable decision record; `placements` is the linker's final
+    /// text order.
+    pub fn collect(
+        benchmark: &str,
+        scale: f64,
+        seed: u64,
+        rich: &RichProvenance,
+        layout: &LayoutProvenance,
+        placements: &[SymbolPlacement],
+        merge_sources: Option<MergeProvenance>,
+    ) -> ProvenanceDoc {
+        let emitted: HashMap<&str, Vec<u32>> = layout
+            .functions
+            .iter()
+            .map(|f| {
+                let order: Vec<u32> = f
+                    .clusters
+                    .iter()
+                    .filter(|c| !c.cold)
+                    .flat_map(|c| c.blocks.iter().copied())
+                    .collect();
+                (f.func_symbol.as_str(), order)
+            })
+            .collect();
+        ProvenanceDoc {
+            benchmark: benchmark.to_string(),
+            scale,
+            seed,
+            functions: rich
+                .functions
+                .iter()
+                .map(|r| ProvenanceFunction {
+                    func_symbol: r.func_symbol.clone(),
+                    func_index: r.func_index,
+                    nodes: r.nodes.clone(),
+                    edges: r.edges.clone(),
+                    steps: r.steps.clone(),
+                    evaluations: r.evaluations,
+                    used_input_order: r.used_input_order,
+                    final_score: r.final_score,
+                    input_score: r.input_score,
+                    order: emitted
+                        .get(r.func_symbol.as_str())
+                        .cloned()
+                        .unwrap_or_default(),
+                })
+                .collect(),
+            funding: rich.funding.clone(),
+            placements: placements.to_vec(),
+            merge_sources,
+            attribution: Vec::new(),
+        }
+    }
+
+    /// Replays every function's recorded merge steps and checks that
+    /// the result is exactly the emitted order (and a duplicate-free
+    /// permutation of the function's hot nodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first function whose record does
+    /// not reconstruct its emitted order.
+    pub fn validate_replay(&self) -> Result<(), String> {
+        for f in &self.functions {
+            let mut seen: Vec<u32> = f.order.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != f.nodes.len() {
+                return Err(format!(
+                    "{}: emitted order is not a permutation of the {} hot nodes",
+                    f.func_symbol,
+                    f.nodes.len()
+                ));
+            }
+            let replayed = if f.used_input_order {
+                f.nodes.iter().map(|n| n.id).collect::<Vec<u32>>()
+            } else {
+                replay_merges(&f.nodes, 0, &f.steps)
+                    .map_err(|e| format!("{}: replay failed: {e}", f.func_symbol))?
+            };
+            if replayed != f.order {
+                return Err(format!(
+                    "{}: replaying {} steps produced {:?}, but the emitted order is {:?}",
+                    f.func_symbol,
+                    f.steps.len(),
+                    replayed,
+                    f.order
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks up a function record by symbol.
+    pub fn function(&self, symbol: &str) -> Option<&ProvenanceFunction> {
+        self.functions.iter().find(|f| f.func_symbol == symbol)
+    }
+
+    /// Serializes the document as a [`JsonValue`] with a fixed member
+    /// order.
+    pub fn to_json(&self) -> JsonValue {
+        let mut members = vec![
+            ("benchmark".to_string(), JsonValue::Str(self.benchmark.clone())),
+            ("scale".to_string(), JsonValue::Num(self.scale)),
+            ("seed".to_string(), JsonValue::Num(self.seed as f64)),
+            (
+                "functions".to_string(),
+                JsonValue::Arr(self.functions.iter().map(function_to_json).collect()),
+            ),
+            (
+                "funding".to_string(),
+                JsonValue::Arr(
+                    self.funding.records.iter().map(funding_to_json).collect(),
+                ),
+            ),
+            (
+                "placements".to_string(),
+                JsonValue::Arr(
+                    self.placements.iter().map(placement_to_json).collect(),
+                ),
+            ),
+        ];
+        if let Some(m) = &self.merge_sources {
+            members.push(("merge_sources".to_string(), merge_sources_to_json(m)));
+        }
+        if !self.attribution.is_empty() {
+            members.push((
+                "attribution".to_string(),
+                JsonValue::Arr(
+                    self.attribution
+                        .iter()
+                        .map(|(sym, cycles)| {
+                            JsonValue::Obj(vec![
+                                ("symbol".to_string(), JsonValue::Str(sym.clone())),
+                                ("cycles".to_string(), JsonValue::Num(*cycles as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        JsonValue::Obj(members)
+    }
+
+    /// The pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Reconstructs a document from [`ProvenanceDoc::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or ill-typed member.
+    pub fn from_json(v: &JsonValue) -> Result<ProvenanceDoc, String> {
+        let benchmark = v
+            .get("benchmark")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `benchmark`")?
+            .to_string();
+        let scale = v
+            .get("scale")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing `scale`")?;
+        let seed = v
+            .get("seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing `seed`")?;
+        let mut functions = Vec::new();
+        for f in v
+            .get("functions")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing `functions`")?
+        {
+            functions.push(function_from_json(f)?);
+        }
+        let mut funding = EdgeFunding::default();
+        for r in v
+            .get("funding")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing `funding`")?
+        {
+            funding.records.push(funding_from_json(r)?);
+        }
+        let mut placements = Vec::new();
+        for p in v
+            .get("placements")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing `placements`")?
+        {
+            placements.push(placement_from_json(p)?);
+        }
+        let merge_sources = match v.get("merge_sources") {
+            Some(m) => Some(merge_sources_from_json(m)?),
+            None => None,
+        };
+        let mut attribution = Vec::new();
+        if let Some(arr) = v.get("attribution").and_then(JsonValue::as_arr) {
+            for a in arr {
+                attribution.push((
+                    a.get("symbol")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("attribution row missing `symbol`")?
+                        .to_string(),
+                    a.get("cycles")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("attribution row missing `cycles`")?,
+                ));
+            }
+        }
+        Ok(ProvenanceDoc {
+            benchmark,
+            scale,
+            seed,
+            functions,
+            funding,
+            placements,
+            merge_sources,
+            attribution,
+        })
+    }
+
+    /// Parses a serialized document.
+    ///
+    /// # Errors
+    ///
+    /// Reports both JSON syntax errors and schema mismatches.
+    pub fn parse(text: &str) -> Result<ProvenanceDoc, String> {
+        let v = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        ProvenanceDoc::from_json(&v)
+    }
+}
+
+fn node_to_json(n: &Node) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("id".to_string(), JsonValue::Num(n.id as f64)),
+        ("size".to_string(), JsonValue::Num(n.size as f64)),
+        ("count".to_string(), JsonValue::Num(n.count as f64)),
+    ])
+}
+
+fn edge_to_json(e: &Edge) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("src".to_string(), JsonValue::Num(e.src as f64)),
+        ("dst".to_string(), JsonValue::Num(e.dst as f64)),
+        ("weight".to_string(), JsonValue::Num(e.weight as f64)),
+    ])
+}
+
+fn split_to_json(split: Option<usize>) -> JsonValue {
+    match split {
+        Some(s) => JsonValue::Num(s as f64),
+        None => JsonValue::Null,
+    }
+}
+
+fn step_to_json(s: &MergeStep) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("x".to_string(), JsonValue::Num(s.x as f64)),
+        ("y".to_string(), JsonValue::Num(s.y as f64)),
+        ("gain".to_string(), JsonValue::Num(s.gain)),
+        ("split".to_string(), split_to_json(s.split)),
+        (
+            "rejected".to_string(),
+            match &s.rejected {
+                Some(r) => JsonValue::Obj(vec![
+                    ("x".to_string(), JsonValue::Num(r.x as f64)),
+                    ("y".to_string(), JsonValue::Num(r.y as f64)),
+                    ("gain".to_string(), JsonValue::Num(r.gain)),
+                    ("split".to_string(), split_to_json(r.split)),
+                ]),
+                None => JsonValue::Null,
+            },
+        ),
+    ])
+}
+
+fn function_to_json(f: &ProvenanceFunction) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("func".to_string(), JsonValue::Str(f.func_symbol.clone())),
+        ("func_index".to_string(), JsonValue::Num(f.func_index as f64)),
+        (
+            "nodes".to_string(),
+            JsonValue::Arr(f.nodes.iter().map(node_to_json).collect()),
+        ),
+        (
+            "edges".to_string(),
+            JsonValue::Arr(f.edges.iter().map(edge_to_json).collect()),
+        ),
+        (
+            "steps".to_string(),
+            JsonValue::Arr(f.steps.iter().map(step_to_json).collect()),
+        ),
+        ("evaluations".to_string(), JsonValue::Num(f.evaluations as f64)),
+        (
+            "used_input_order".to_string(),
+            JsonValue::Bool(f.used_input_order),
+        ),
+        ("final_score".to_string(), JsonValue::Num(f.final_score)),
+        ("input_score".to_string(), JsonValue::Num(f.input_score)),
+        (
+            "order".to_string(),
+            JsonValue::Arr(f.order.iter().map(|&b| JsonValue::Num(b as f64)).collect()),
+        ),
+    ])
+}
+
+fn funding_to_json(r: &FundingRecord) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("func".to_string(), JsonValue::Num(r.func as f64)),
+        ("src".to_string(), JsonValue::Num(r.src as f64)),
+        ("dst".to_string(), JsonValue::Num(r.dst as f64)),
+        ("kind".to_string(), JsonValue::Str(r.kind.label().to_string())),
+        ("from".to_string(), JsonValue::Num(r.from as f64)),
+        ("to".to_string(), JsonValue::Num(r.to as f64)),
+        ("weight".to_string(), JsonValue::Num(r.weight as f64)),
+    ])
+}
+
+fn placement_to_json(p: &SymbolPlacement) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("symbol".to_string(), JsonValue::Str(p.symbol.clone())),
+        ("order".to_string(), JsonValue::Num(p.order as f64)),
+        ("addr".to_string(), JsonValue::Num(p.addr as f64)),
+        ("input_size".to_string(), JsonValue::Num(p.input_size as f64)),
+        ("final_size".to_string(), JsonValue::Num(p.final_size as f64)),
+        (
+            "deleted_jumps".to_string(),
+            JsonValue::Num(p.deleted_jumps as f64),
+        ),
+        (
+            "shrunk_branches".to_string(),
+            JsonValue::Num(p.shrunk_branches as f64),
+        ),
+    ])
+}
+
+fn merge_sources_to_json(m: &MergeProvenance) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("max_age".to_string(), JsonValue::Num(m.max_age as f64)),
+        ("decay_num".to_string(), JsonValue::Num(m.decay_num as f64)),
+        ("decay_den".to_string(), JsonValue::Num(m.decay_den as f64)),
+        (
+            "sources".to_string(),
+            JsonValue::Arr(
+                m.sources
+                    .iter()
+                    .map(|s| {
+                        JsonValue::Obj(vec![
+                            ("index".to_string(), JsonValue::Num(s.index as f64)),
+                            ("weight".to_string(), JsonValue::Num(s.weight as f64)),
+                            ("age".to_string(), JsonValue::Num(s.age as f64)),
+                            (
+                                "effective".to_string(),
+                                JsonValue::Num(s.effective as f64),
+                            ),
+                            (
+                                "branch_total".to_string(),
+                                JsonValue::Num(s.branch_total as f64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn usize_of(v: &JsonValue, key: &str, what: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("{what} missing `{key}`"))
+}
+
+fn split_from_json(v: Option<&JsonValue>) -> Result<Option<usize>, String> {
+    match v {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(s) => Ok(Some(s.as_u64().ok_or("bad `split`")? as usize)),
+    }
+}
+
+fn function_from_json(v: &JsonValue) -> Result<ProvenanceFunction, String> {
+    let mut nodes = Vec::new();
+    for n in v
+        .get("nodes")
+        .and_then(JsonValue::as_arr)
+        .ok_or("function missing `nodes`")?
+    {
+        nodes.push(Node {
+            id: usize_of(n, "id", "node")? as u32,
+            size: usize_of(n, "size", "node")? as u32,
+            count: n
+                .get("count")
+                .and_then(JsonValue::as_u64)
+                .ok_or("node missing `count`")?,
+        });
+    }
+    let mut edges = Vec::new();
+    for e in v
+        .get("edges")
+        .and_then(JsonValue::as_arr)
+        .ok_or("function missing `edges`")?
+    {
+        edges.push(Edge {
+            src: usize_of(e, "src", "edge")? as u32,
+            dst: usize_of(e, "dst", "edge")? as u32,
+            weight: e
+                .get("weight")
+                .and_then(JsonValue::as_u64)
+                .ok_or("edge missing `weight`")?,
+        });
+    }
+    let mut steps = Vec::new();
+    for s in v
+        .get("steps")
+        .and_then(JsonValue::as_arr)
+        .ok_or("function missing `steps`")?
+    {
+        let rejected = match s.get("rejected") {
+            None | Some(JsonValue::Null) => None,
+            Some(r) => Some(RejectedAlt {
+                x: usize_of(r, "x", "rejected")?,
+                y: usize_of(r, "y", "rejected")?,
+                gain: r
+                    .get("gain")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("rejected missing `gain`")?,
+                split: split_from_json(r.get("split"))?,
+            }),
+        };
+        steps.push(MergeStep {
+            x: usize_of(s, "x", "step")?,
+            y: usize_of(s, "y", "step")?,
+            gain: s
+                .get("gain")
+                .and_then(JsonValue::as_f64)
+                .ok_or("step missing `gain`")?,
+            split: split_from_json(s.get("split"))?,
+            rejected,
+        });
+    }
+    Ok(ProvenanceFunction {
+        func_symbol: v
+            .get("func")
+            .and_then(JsonValue::as_str)
+            .ok_or("function missing `func`")?
+            .to_string(),
+        func_index: usize_of(v, "func_index", "function")? as u32,
+        nodes,
+        edges,
+        steps,
+        evaluations: v
+            .get("evaluations")
+            .and_then(JsonValue::as_u64)
+            .ok_or("function missing `evaluations`")?,
+        used_input_order: matches!(
+            v.get("used_input_order"),
+            Some(JsonValue::Bool(true))
+        ),
+        final_score: v
+            .get("final_score")
+            .and_then(JsonValue::as_f64)
+            .ok_or("function missing `final_score`")?,
+        input_score: v
+            .get("input_score")
+            .and_then(JsonValue::as_f64)
+            .ok_or("function missing `input_score`")?,
+        order: v
+            .get("order")
+            .and_then(JsonValue::as_arr)
+            .ok_or("function missing `order`")?
+            .iter()
+            .map(|b| b.as_u64().map(|b| b as u32).ok_or("bad block id"))
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn funding_from_json(v: &JsonValue) -> Result<FundingRecord, String> {
+    let kind = match v
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("funding record missing `kind`")?
+    {
+        "branch" => EdgeKind::Branch,
+        "fallthrough" => EdgeKind::Fallthrough,
+        other => return Err(format!("unknown funding kind `{other}`")),
+    };
+    Ok(FundingRecord {
+        func: usize_of(v, "func", "funding record")? as u32,
+        src: usize_of(v, "src", "funding record")? as u32,
+        dst: usize_of(v, "dst", "funding record")? as u32,
+        kind,
+        from: v
+            .get("from")
+            .and_then(JsonValue::as_u64)
+            .ok_or("funding record missing `from`")?,
+        to: v
+            .get("to")
+            .and_then(JsonValue::as_u64)
+            .ok_or("funding record missing `to`")?,
+        weight: v
+            .get("weight")
+            .and_then(JsonValue::as_u64)
+            .ok_or("funding record missing `weight`")?,
+    })
+}
+
+fn placement_from_json(v: &JsonValue) -> Result<SymbolPlacement, String> {
+    Ok(SymbolPlacement {
+        symbol: v
+            .get("symbol")
+            .and_then(JsonValue::as_str)
+            .ok_or("placement missing `symbol`")?
+            .to_string(),
+        order: usize_of(v, "order", "placement")? as u32,
+        addr: v
+            .get("addr")
+            .and_then(JsonValue::as_u64)
+            .ok_or("placement missing `addr`")?,
+        input_size: v
+            .get("input_size")
+            .and_then(JsonValue::as_u64)
+            .ok_or("placement missing `input_size`")?,
+        final_size: v
+            .get("final_size")
+            .and_then(JsonValue::as_u64)
+            .ok_or("placement missing `final_size`")?,
+        deleted_jumps: usize_of(v, "deleted_jumps", "placement")? as u32,
+        shrunk_branches: usize_of(v, "shrunk_branches", "placement")? as u32,
+    })
+}
+
+fn merge_sources_from_json(v: &JsonValue) -> Result<MergeProvenance, String> {
+    let mut m = MergeProvenance {
+        max_age: usize_of(v, "max_age", "merge_sources")? as u32,
+        decay_num: usize_of(v, "decay_num", "merge_sources")? as u32,
+        decay_den: usize_of(v, "decay_den", "merge_sources")? as u32,
+        sources: Vec::new(),
+    };
+    for s in v
+        .get("sources")
+        .and_then(JsonValue::as_arr)
+        .ok_or("merge_sources missing `sources`")?
+    {
+        m.sources.push(propeller_profile::SourceContribution {
+            index: usize_of(s, "index", "source")?,
+            weight: s
+                .get("weight")
+                .and_then(JsonValue::as_u64)
+                .ok_or("source missing `weight`")?,
+            age: usize_of(s, "age", "source")? as u32,
+            effective: s
+                .get("effective")
+                .and_then(JsonValue::as_f64)
+                .ok_or("source missing `effective`")? as u128,
+            branch_total: s
+                .get("branch_total")
+                .and_then(JsonValue::as_u64)
+                .ok_or("source missing `branch_total`")?,
+        });
+    }
+    Ok(m)
+}
+
+// ---------------------------------------------------------------------
+// layout-diff
+// ---------------------------------------------------------------------
+
+/// One symbol whose final placement differs between two documents.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MovedSymbol {
+    /// The symbol.
+    pub symbol: String,
+    /// Text-order position in A / B.
+    pub order_a: u32,
+    /// Text-order position in B.
+    pub order_b: u32,
+    /// Final address in A.
+    pub addr_a: u64,
+    /// Final address in B.
+    pub addr_b: u64,
+    /// Attributed cycles in A, when A carried attribution.
+    pub cycles_a: Option<u64>,
+    /// Attributed cycles in B, when B carried attribution.
+    pub cycles_b: Option<u64>,
+}
+
+impl MovedSymbol {
+    /// Absolute attributed-cycle delta, when both sides have counters.
+    pub fn cycle_delta(&self) -> Option<i64> {
+        match (self.cycles_a, self.cycles_b) {
+            (Some(a), Some(b)) => Some(b as i64 - a as i64),
+            _ => None,
+        }
+    }
+}
+
+/// The structural difference between two provenance documents.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ProvenanceDiff {
+    /// Symbols placed at a different text-order position, ranked by
+    /// absolute attributed cycle delta (position delta when either
+    /// side lacks attribution), largest first.
+    pub moved: Vec<MovedSymbol>,
+    /// Symbols placed only in A.
+    pub only_a: Vec<String>,
+    /// Symbols placed only in B.
+    pub only_b: Vec<String>,
+    /// The first merge decision that diverges between the two runs,
+    /// named (function, step, both decisions) — `None` when every
+    /// recorded decision matches.
+    pub first_divergence: Option<String>,
+}
+
+impl ProvenanceDiff {
+    /// True when the two documents describe the same layout decisions
+    /// and placements.
+    pub fn is_empty(&self) -> bool {
+        self.moved.is_empty()
+            && self.only_a.is_empty()
+            && self.only_b.is_empty()
+            && self.first_divergence.is_none()
+    }
+}
+
+fn describe_step(s: &MergeStep) -> String {
+    let split = match s.split {
+        Some(p) => format!(" split@{p}"),
+        None => String::new(),
+    };
+    format!("merge {}<-{}{split} gain {:.3}", s.x, s.y, s.gain)
+}
+
+/// Computes the structural diff between two provenance documents.
+pub fn diff_docs(a: &ProvenanceDoc, b: &ProvenanceDoc) -> ProvenanceDiff {
+    let mut d = ProvenanceDiff::default();
+
+    // First diverging merge decision, scanning functions in A's order.
+    'outer: for fa in &a.functions {
+        let Some(fb) = b.function(&fa.func_symbol) else {
+            d.first_divergence = Some(format!(
+                "function {}: has a decision record only in A",
+                fa.func_symbol
+            ));
+            break;
+        };
+        let n = fa.steps.len().min(fb.steps.len());
+        for i in 0..n {
+            let (sa, sb) = (&fa.steps[i], &fb.steps[i]);
+            if sa.x != sb.x || sa.y != sb.y || sa.split != sb.split || sa.gain != sb.gain {
+                d.first_divergence = Some(format!(
+                    "function {}: step {}: A {} vs B {}",
+                    fa.func_symbol,
+                    i,
+                    describe_step(sa),
+                    describe_step(sb)
+                ));
+                break 'outer;
+            }
+        }
+        if fa.steps.len() != fb.steps.len() {
+            d.first_divergence = Some(format!(
+                "function {}: A committed {} merges, B {}",
+                fa.func_symbol,
+                fa.steps.len(),
+                fb.steps.len()
+            ));
+            break;
+        }
+    }
+    if d.first_divergence.is_none() {
+        if let Some(fb) = b
+            .functions
+            .iter()
+            .find(|fb| a.function(&fb.func_symbol).is_none())
+        {
+            d.first_divergence = Some(format!(
+                "function {}: has a decision record only in B",
+                fb.func_symbol
+            ));
+        }
+    }
+
+    // Placement moves.
+    let place_b: HashMap<&str, &SymbolPlacement> = b
+        .placements
+        .iter()
+        .map(|p| (p.symbol.as_str(), p))
+        .collect();
+    let place_a: HashMap<&str, &SymbolPlacement> = a
+        .placements
+        .iter()
+        .map(|p| (p.symbol.as_str(), p))
+        .collect();
+    let cycles_of = |doc: &ProvenanceDoc, sym: &str| -> Option<u64> {
+        doc.attribution
+            .iter()
+            .find(|(s, _)| s == sym)
+            .map(|&(_, c)| c)
+    };
+    for pa in &a.placements {
+        match place_b.get(pa.symbol.as_str()) {
+            None => d.only_a.push(pa.symbol.clone()),
+            Some(pb) if pa.order != pb.order || pa.addr != pb.addr => {
+                d.moved.push(MovedSymbol {
+                    symbol: pa.symbol.clone(),
+                    order_a: pa.order,
+                    order_b: pb.order,
+                    addr_a: pa.addr,
+                    addr_b: pb.addr,
+                    cycles_a: cycles_of(a, &pa.symbol),
+                    cycles_b: cycles_of(b, &pa.symbol),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for pb in &b.placements {
+        if !place_a.contains_key(pb.symbol.as_str()) {
+            d.only_b.push(pb.symbol.clone());
+        }
+    }
+    // Rank: attributed cycle delta when available, position delta
+    // otherwise; symbol name breaks ties deterministically.
+    d.moved.sort_by(|x, y| {
+        let key = |m: &MovedSymbol| -> u64 {
+            match m.cycle_delta() {
+                Some(c) => c.unsigned_abs(),
+                None => (m.order_a as i64 - m.order_b as i64).unsigned_abs(),
+            }
+        };
+        key(y).cmp(&key(x)).then_with(|| x.symbol.cmp(&y.symbol))
+    });
+    d
+}
+
+/// Renders a `layout-diff` report.
+pub fn render_layout_diff(name_a: &str, name_b: &str, d: &ProvenanceDiff) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "layout-diff {name_a} -> {name_b}");
+    if d.is_empty() {
+        let _ = writeln!(out, "  identical: no moved symbols, no diverging decisions");
+        return out;
+    }
+    match &d.first_divergence {
+        Some(div) => {
+            let _ = writeln!(out, "  first diverging decision: {div}");
+        }
+        None => {
+            let _ = writeln!(out, "  no diverging merge decisions");
+        }
+    }
+    let _ = writeln!(out, "  moved symbols: {}", d.moved.len());
+    for m in &d.moved {
+        let cycles = match (m.cycles_a, m.cycles_b) {
+            (Some(ca), Some(cb)) => {
+                format!("  cycles {ca} -> {cb} ({:+})", cb as i64 - ca as i64)
+            }
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "    {:<30} order {:>4} -> {:<4} addr {:#x} -> {:#x}{cycles}",
+            m.symbol, m.order_a, m.order_b, m.addr_a, m.addr_b
+        );
+    }
+    for s in &d.only_a {
+        let _ = writeln!(out, "    {s:<30} only in {name_a}");
+    }
+    for s in &d.only_b {
+        let _ = writeln!(out, "    {s:<30} only in {name_b}");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// explain
+// ---------------------------------------------------------------------
+
+/// Renders the end-to-end decision trail for one function (optionally
+/// narrowed to one block): sample mass → funded edge weights → merge
+/// steps with gains and best rejected alternatives → final layout slot
+/// and address, joined against attributed µarch counters when the
+/// caller collected them.
+///
+/// # Errors
+///
+/// Returns a message when `func` has no decision record in `doc`.
+pub fn render_explain(
+    doc: &ProvenanceDoc,
+    func: &str,
+    block: Option<u32>,
+    attr: Option<&SymbolAttribution>,
+) -> Result<String, String> {
+    let f = doc.function(func).ok_or_else(|| {
+        format!(
+            "no provenance record for `{func}` in {} (hot functions: {})",
+            doc.benchmark,
+            doc.functions.len()
+        )
+    })?;
+    let mut out = String::new();
+    let target = match block {
+        Some(b) => format!("{func}:{b}"),
+        None => func.to_string(),
+    };
+    let _ = writeln!(
+        out,
+        "explain {}/{target} (scale {}, seed {})",
+        doc.benchmark, doc.scale, doc.seed
+    );
+
+    // 1. Sample mass.
+    let mass: u64 = f.nodes.iter().map(|n| n.count).sum();
+    let _ = writeln!(
+        out,
+        "  sample mass: {} block-weight across {} hot blocks",
+        mass,
+        f.nodes.len()
+    );
+    if let Some(b) = block {
+        match f.nodes.iter().find(|n| n.id == b) {
+            Some(n) => {
+                let _ = writeln!(
+                    out,
+                    "  block {b}: weight {}, size {} bytes",
+                    n.count, n.size
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  block {b}: not hot (no decision record)");
+            }
+        }
+    }
+    if let Some(m) = &doc.merge_sources {
+        let _ = writeln!(
+            out,
+            "  profile merged from {} sources (decay {}/{} per release of age):",
+            m.sources.len(),
+            m.decay_num,
+            m.decay_den
+        );
+        for s in &m.sources {
+            let _ = writeln!(
+                out,
+                "    source {}: weight {} age {} -> effective {} ({} branch events)",
+                s.index, s.weight, s.age, s.effective, s.branch_total
+            );
+        }
+    }
+
+    // 2. Edge weights and the profile records that funded them.
+    let records = doc.funding.for_func(f.func_index);
+    let relevant: Vec<&FundingRecord> = records
+        .iter()
+        .copied()
+        .filter(|r| block.is_none_or(|b| r.src == b || r.dst == b))
+        .collect();
+    let _ = writeln!(
+        out,
+        "  edge funding ({} profile records{}):",
+        relevant.len(),
+        if block.is_some() { " touching the block" } else { "" }
+    );
+    for r in &relevant {
+        let _ = writeln!(
+            out,
+            "    {} -> {} {:<11} weight {:>8}  from {:#x}..{:#x}",
+            r.src,
+            r.dst,
+            r.kind.label(),
+            r.weight,
+            r.from,
+            r.to
+        );
+    }
+
+    // 3. Merge decisions. Replaying the chains tells us which steps
+    //    involved the selected block.
+    let block_idx = block.and_then(|b| f.nodes.iter().position(|n| n.id == b));
+    let mut chains: Vec<Option<Vec<usize>>> =
+        (0..f.nodes.len()).map(|i| Some(vec![i])).collect();
+    let _ = writeln!(
+        out,
+        "  merge decisions: {} committed of {} evaluated",
+        f.steps.len(),
+        f.evaluations
+    );
+    for (i, s) in f.steps.iter().enumerate() {
+        let involved = match block_idx {
+            Some(bi) => {
+                let has = |c: usize| {
+                    chains
+                        .get(c)
+                        .and_then(|c| c.as_ref())
+                        .is_some_and(|m| m.contains(&bi))
+                };
+                has(s.x) || has(s.y)
+            }
+            None => true,
+        };
+        // Advance the replay regardless, so membership stays exact.
+        if s.x < chains.len() && s.y < chains.len() {
+            if let (Some(cx), Some(cy)) = (chains[s.x].take(), chains[s.y].take()) {
+                let mut merged = Vec::with_capacity(cx.len() + cy.len());
+                match s.split {
+                    Some(p) if p <= cx.len() => {
+                        merged.extend_from_slice(&cx[..p]);
+                        merged.extend_from_slice(&cy);
+                        merged.extend_from_slice(&cx[p..]);
+                    }
+                    _ => {
+                        merged.extend_from_slice(&cx);
+                        merged.extend_from_slice(&cy);
+                    }
+                }
+                chains[s.x] = Some(merged);
+            }
+        }
+        if !involved {
+            continue;
+        }
+        let split = match s.split {
+            Some(p) => format!(" split@{p}"),
+            None => String::new(),
+        };
+        let rejected = match &s.rejected {
+            Some(r) => {
+                let rsplit = match r.split {
+                    Some(p) => format!(" split@{p}"),
+                    None => String::new(),
+                };
+                format!(
+                    " | best rejected: {}<-{}{rsplit} gain {:.3}",
+                    r.x, r.y, r.gain
+                )
+            }
+            None => " | no other positive-gain candidate queued".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    step {i:>3}: chain {}<-{}{split} gain {:>10.3}{rejected}",
+            s.x, s.y, s.gain
+        );
+    }
+    let order = f
+        .order
+        .iter()
+        .map(|b| b.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let _ = writeln!(
+        out,
+        "  emitted hot order: [{order}]{}",
+        if f.used_input_order {
+            " (input order kept: optimizer scored below it)"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  ext-tsp score: input {:.3} -> final {:.3}",
+        f.input_score, f.final_score
+    );
+
+    // 4. Final placement.
+    let fragment_prefix = format!("{func}.");
+    let mut placed = false;
+    for p in doc
+        .placements
+        .iter()
+        .filter(|p| p.symbol == func || p.symbol.starts_with(&fragment_prefix))
+    {
+        placed = true;
+        let _ = writeln!(
+            out,
+            "  placed: {:<30} order #{:<4} addr {:#x}  {} -> {} bytes \
+             ({} jumps deleted, {} branches shrunk)",
+            p.symbol,
+            p.order,
+            p.addr,
+            p.input_size,
+            p.final_size,
+            p.deleted_jumps,
+            p.shrunk_branches
+        );
+    }
+    if !placed {
+        let _ = writeln!(out, "  placed: (no placement record for {func})");
+    }
+
+    // 5. Attributed counters, when the caller simulated with
+    //    attribution.
+    if let Some(sym) = attr {
+        let c = &sym.total;
+        let _ = writeln!(
+            out,
+            "  counters: {} cycles, {} insts, {} l1i misses, {} itlb misses, {} baclears",
+            c.cycles, c.insts, c.l1i_misses, c.itlb_misses, c.baclears
+        );
+        if let Some(b) = block {
+            if let Some(ba) = sym.blocks.get(b as usize) {
+                let _ = writeln!(
+                    out,
+                    "  block {b} counters: addr {:#x}, {} bytes, {} cycles, {} l1i misses",
+                    ba.addr, ba.size, ba.counters.cycles, ba.counters.l1i_misses
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// doctor findings
+// ---------------------------------------------------------------------
+
+/// Grades provenance coverage: every hot-classified function in the
+/// run's layout should carry a full decision record in the armed
+/// document. Returns a single OK finding at full coverage.
+pub fn provenance_findings(
+    layout: &LayoutProvenance,
+    doc: &ProvenanceDoc,
+    cfg: &DoctorConfig,
+) -> Vec<Finding> {
+    let hot = layout.functions.len();
+    if hot == 0 {
+        return vec![Finding {
+            severity: Severity::Ok,
+            metric: "provenance.coverage".into(),
+            value: 1.0,
+            message: "no hot functions; nothing to record".into(),
+        }];
+    }
+    let covered = layout
+        .functions
+        .iter()
+        .filter(|f| doc.function(&f.func_symbol).is_some())
+        .count();
+    let ratio = covered as f64 / hot as f64;
+    let mut out = vec![Finding {
+        severity: if ratio < cfg.provenance_coverage_warn {
+            Severity::Warn
+        } else {
+            Severity::Ok
+        },
+        metric: "provenance.coverage".into(),
+        value: ratio,
+        message: format!("{covered} of {hot} hot functions carry a full decision record"),
+    }];
+    if let Err(e) = doc.validate_replay() {
+        out.push(Finding {
+            severity: Severity::Warn,
+            metric: "provenance.replay".into(),
+            value: 0.0,
+            message: format!("recorded merge steps do not replay: {e}"),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> ProvenanceDoc {
+        ProvenanceDoc {
+            benchmark: "clang".into(),
+            scale: 0.004,
+            seed: 77,
+            functions: vec![ProvenanceFunction {
+                func_symbol: "hot_a".into(),
+                func_index: 3,
+                nodes: vec![
+                    Node { id: 0, size: 16, count: 100 },
+                    Node { id: 1, size: 16, count: 90 },
+                    Node { id: 2, size: 16, count: 80 },
+                ],
+                edges: vec![
+                    Edge { src: 0, dst: 2, weight: 100 },
+                    Edge { src: 2, dst: 1, weight: 90 },
+                ],
+                steps: vec![
+                    MergeStep {
+                        x: 0,
+                        y: 2,
+                        gain: 120.0,
+                        split: None,
+                        rejected: Some(RejectedAlt {
+                            x: 1,
+                            y: 2,
+                            gain: 40.0,
+                            split: Some(1),
+                        }),
+                    },
+                    MergeStep { x: 0, y: 1, gain: 80.0, split: None, rejected: None },
+                ],
+                evaluations: 9,
+                used_input_order: false,
+                final_score: 1800.0,
+                input_score: 177.0,
+                order: vec![0, 2, 1],
+            }],
+            funding: EdgeFunding {
+                records: vec![FundingRecord {
+                    func: 3,
+                    src: 0,
+                    dst: 2,
+                    kind: EdgeKind::Branch,
+                    from: 0x40_1000,
+                    to: 0x40_1040,
+                    weight: 100,
+                }],
+            },
+            placements: vec![SymbolPlacement {
+                symbol: "hot_a".into(),
+                order: 0,
+                addr: 0x40_0000,
+                input_size: 64,
+                final_size: 58,
+                deleted_jumps: 2,
+                shrunk_branches: 1,
+            }],
+            merge_sources: None,
+            attribution: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let doc = sample_doc();
+        let back = ProvenanceDoc::parse(&doc.to_json_string()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn round_trips_optional_members() {
+        let mut doc = sample_doc();
+        assert!(!doc.to_json_string().contains("merge_sources"));
+        assert!(!doc.to_json_string().contains("attribution"));
+        doc.merge_sources = Some(MergeProvenance {
+            max_age: 5,
+            decay_num: 1,
+            decay_den: 2,
+            sources: vec![propeller_profile::SourceContribution {
+                index: 0,
+                weight: 17,
+                age: 2,
+                effective: 68,
+                branch_total: 1234,
+            }],
+        });
+        doc.attribution.push(("hot_a".into(), 9000));
+        let json = doc.to_json_string();
+        assert!(json.contains("merge_sources"));
+        assert!(json.contains("attribution"));
+        let back = ProvenanceDoc::parse(&json).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn replay_validation_accepts_the_truth_and_rejects_lies() {
+        let doc = sample_doc();
+        doc.validate_replay().unwrap();
+        let mut bad = doc.clone();
+        bad.functions[0].order = vec![0, 1, 2];
+        assert!(bad.validate_replay().is_err());
+        let mut not_perm = doc;
+        not_perm.functions[0].order = vec![0, 2, 2];
+        assert!(not_perm.validate_replay().unwrap_err().contains("permutation"));
+    }
+
+    #[test]
+    fn self_diff_is_structurally_empty() {
+        let doc = sample_doc();
+        let d = diff_docs(&doc, &doc);
+        assert!(d.is_empty());
+        assert!(render_layout_diff("a", "b", &d).contains("identical"));
+    }
+
+    #[test]
+    fn diff_names_the_first_diverging_decision_and_ranks_moves() {
+        let a = sample_doc();
+        let mut b = sample_doc();
+        b.functions[0].steps[1] =
+            MergeStep { x: 0, y: 1, gain: 75.0, split: Some(2), rejected: None };
+        b.placements[0].order = 4;
+        b.placements[0].addr = 0x40_2000;
+        b.placements.push(SymbolPlacement {
+            symbol: "new_sym".into(),
+            order: 5,
+            addr: 0x40_3000,
+            input_size: 10,
+            final_size: 10,
+            deleted_jumps: 0,
+            shrunk_branches: 0,
+        });
+        let d = diff_docs(&a, &b);
+        let div = d.first_divergence.as_deref().unwrap();
+        assert!(div.contains("hot_a"), "{div}");
+        assert!(div.contains("step 1"), "{div}");
+        assert!(div.contains("gain 80.000") && div.contains("gain 75.000"), "{div}");
+        assert_eq!(d.moved.len(), 1);
+        assert_eq!(d.moved[0].symbol, "hot_a");
+        assert_eq!(d.only_b, vec!["new_sym".to_string()]);
+        let rendered = render_layout_diff("A.json", "B.json", &d);
+        assert!(rendered.contains("first diverging decision"));
+        assert!(rendered.contains("hot_a"));
+    }
+
+    #[test]
+    fn diff_ranks_by_attributed_cycle_delta_when_present() {
+        let mut a = sample_doc();
+        let mut b = sample_doc();
+        for doc in [&mut a, &mut b] {
+            doc.placements.push(SymbolPlacement {
+                symbol: "hot_b".into(),
+                order: 1,
+                addr: 0x40_0100,
+                input_size: 32,
+                final_size: 32,
+                deleted_jumps: 0,
+                shrunk_branches: 0,
+            });
+        }
+        // Both symbols move one slot; hot_b's cycle delta is larger.
+        b.placements[0].order = 2;
+        b.placements[1].order = 3;
+        a.attribution = vec![("hot_a".into(), 1000), ("hot_b".into(), 1000)];
+        b.attribution = vec![("hot_a".into(), 1100), ("hot_b".into(), 5000)];
+        let d = diff_docs(&a, &b);
+        assert_eq!(d.moved[0].symbol, "hot_b");
+        assert_eq!(d.moved[0].cycle_delta(), Some(4000));
+        assert_eq!(d.moved[1].symbol, "hot_a");
+    }
+
+    #[test]
+    fn explain_names_mass_merges_rejections_and_address() {
+        let doc = sample_doc();
+        let text = render_explain(&doc, "hot_a", None, None).unwrap();
+        assert!(text.contains("sample mass: 270"), "{text}");
+        assert!(text.contains("gain    120.000"), "{text}");
+        assert!(text.contains("best rejected: 1<-2 split@1 gain 40.000"), "{text}");
+        assert!(text.contains("no other positive-gain candidate queued"), "{text}");
+        assert!(text.contains("0x400000"), "{text}");
+        assert!(text.contains("emitted hot order: [0 2 1]"), "{text}");
+        assert!(text.contains("2 jumps deleted, 1 branches shrunk"), "{text}");
+        assert!(render_explain(&doc, "absent", None, None).is_err());
+    }
+
+    #[test]
+    fn explain_narrows_to_a_block() {
+        let doc = sample_doc();
+        let text = render_explain(&doc, "hot_a", Some(1), None).unwrap();
+        assert!(text.contains("block 1: weight 90"), "{text}");
+        // Step 0 merges chains 0 and 2; block 1's chain is untouched
+        // until step 1, so only step 1 is listed.
+        assert!(!text.contains("step   0"), "{text}");
+        assert!(text.contains("step   1"), "{text}");
+        // The funding ledger only holds the 0->2 record, which does
+        // not touch block 1.
+        assert!(text.contains("0 profile records touching the block"), "{text}");
+    }
+
+    #[test]
+    fn findings_warn_on_missing_records() {
+        let cfg = DoctorConfig::default();
+        let doc = sample_doc();
+        let mut layout = LayoutProvenance::default();
+        let hot = |sym: &str| propeller_wpa::FunctionProvenance {
+            func_symbol: sym.into(),
+            total_samples: 100,
+            hot_blocks: 3,
+            cold_blocks: 0,
+            merge_gains: Vec::new(),
+            layout_score: 0.0,
+            input_score: 0.0,
+            used_input_order: false,
+            clusters: Vec::new(),
+        };
+        layout.functions.push(hot("hot_a"));
+        let ok = provenance_findings(&layout, &doc, &cfg);
+        assert_eq!(ok[0].severity, Severity::Ok);
+        assert!((ok[0].value - 1.0).abs() < 1e-9);
+        layout.functions.push(hot("hot_b"));
+        let warn = provenance_findings(&layout, &doc, &cfg);
+        assert_eq!(warn[0].severity, Severity::Warn);
+        assert!((warn[0].value - 0.5).abs() < 1e-9);
+        assert!(warn[0].message.contains("1 of 2"));
+    }
+}

@@ -138,6 +138,14 @@ impl RunReport {
         wall.insert("phase4.wall_secs".into(), t.phase4.wall_secs);
         wall.insert("total.wall_secs".into(), t.total_wall_secs());
 
+        // Provenance-collection counters stay visible in the Chrome
+        // trace but are scrubbed from the embedded snapshot: arming
+        // provenance must leave run_report.json bit-identical to an
+        // unarmed run (the bench-gate baseline is unarmed).
+        let telemetry = telemetry.map(|mut snap| {
+            snap.counters.retain(|k, _| !k.starts_with("wpa.provenance."));
+            snap
+        });
         RunReport {
             benchmark: benchmark.to_string(),
             scale,

@@ -35,10 +35,11 @@ mod translate;
 pub use translate::{translate_profile, TranslationStats};
 
 use propeller::{BuildCaches, Propeller, PropellerOptions};
-use propeller_doctor::{layout_skew_agg, RelinkDecision, RelinkPolicy};
+use propeller_doctor::{diff_docs, layout_skew_agg, ProvenanceDoc, RelinkDecision, RelinkPolicy};
 use propeller_linker::LinkedBinary;
 use propeller_profile::{
-    merge_profiles, AggregatedProfile, HardwareProfile, MergeOptions, ProfileSource,
+    merge_profiles, merge_profiles_logged, AggregatedProfile, HardwareProfile, MergeOptions,
+    MergeProvenance, ProfileSource,
 };
 use propeller_sim::{collect_profile, ProgramImage, Workload};
 use propeller_synth::{evolve, generate, BenchmarkSpec, DriftParams, GenParams};
@@ -75,6 +76,11 @@ pub struct FleetOptions {
     pub jobs: usize,
     /// Age decay applied when merging historical profiles.
     pub decay: MergeOptions,
+    /// Arm layout provenance: each release collects a full decision
+    /// record and its ledger row cites the top placement divergences
+    /// from the previous release. Off by default; arming never changes
+    /// any shipped layout or the default report bytes.
+    pub provenance: bool,
 }
 
 impl Default for FleetOptions {
@@ -90,6 +96,7 @@ impl Default for FleetOptions {
             eval_budget: 400_000,
             jobs: 1,
             decay: MergeOptions::default(),
+            provenance: false,
         }
     }
 }
@@ -126,11 +133,17 @@ pub struct ReleaseRecord {
     /// Records dropped in translation (deleted functions, shrunk
     /// blocks, unmapped addresses).
     pub dropped_records: u64,
+    /// Top placement divergences from the previous release (first
+    /// diverging merge decision, then the biggest moved symbols).
+    /// Collected only under [`FleetOptions::provenance`]; empty rows
+    /// serialize without the member, keeping unarmed ledgers
+    /// byte-identical to pre-provenance reports.
+    pub divergences: Vec<String>,
 }
 
 impl ReleaseRecord {
     fn to_json(&self) -> JsonValue {
-        JsonValue::Obj(vec![
+        let mut members = vec![
             ("release".into(), JsonValue::Num(f64::from(self.release))),
             ("functions".into(), JsonValue::Num(self.functions as f64)),
             ("skew".into(), JsonValue::Num(self.skew)),
@@ -165,7 +178,19 @@ impl ReleaseRecord {
                 "dropped_records".into(),
                 JsonValue::Num(self.dropped_records as f64),
             ),
-        ])
+        ];
+        if !self.divergences.is_empty() {
+            members.push((
+                "divergences".into(),
+                JsonValue::Arr(
+                    self.divergences
+                        .iter()
+                        .map(|d| JsonValue::Str(d.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        JsonValue::Obj(members)
     }
 }
 
@@ -342,6 +367,7 @@ pub fn run_fleet(
     let popts = PropellerOptions {
         seed: opts.seed,
         jobs: opts.jobs,
+        provenance: opts.provenance,
         ..PropellerOptions::default()
     };
     // Machine collection seeds are fixed for the whole run — a machine
@@ -361,6 +387,9 @@ pub fn run_fleet(
     );
     let mut history: Vec<HistoryEntry> = Vec::new();
     let mut records = Vec::new();
+    // Previous release's provenance document, for cross-release
+    // divergence citations (armed runs only).
+    let mut prev_doc: Option<ProvenanceDoc> = None;
 
     for release in 0..opts.releases {
         if release > 0 {
@@ -450,14 +479,33 @@ pub fn run_fleet(
             (skew, decision.as_str().to_string(), decision)
         };
 
-        // Ship the release the policy chose.
+        // Ship the release the policy chose. Armed runs log which
+        // sources funded the shipped merge at what decayed weight.
+        let mut merge_prov: Option<MergeProvenance> = None;
         match decision {
             RelinkDecision::Relink if release == 0 => {
+                if opts.provenance {
+                    let mut log = MergeProvenance::default();
+                    merge_profiles_logged(
+                        &agg_sources(&fresh_sources),
+                        &opts.decay,
+                        Some(&mut log),
+                    );
+                    merge_prov = Some(log);
+                }
                 prod.phase3_analyze_merged(&fresh_agg, fresh_bytes)
                     .map_err(|e| e.to_string())?;
             }
             RelinkDecision::Relink => {
-                let stale_agg = merge_profiles(&agg_sources(&stale_sources), &opts.decay);
+                let mut log = MergeProvenance::default();
+                let stale_agg = merge_profiles_logged(
+                    &agg_sources(&stale_sources),
+                    &opts.decay,
+                    opts.provenance.then_some(&mut log),
+                );
+                if opts.provenance {
+                    merge_prov = Some(log);
+                }
                 prod.phase3_analyze_merged(&stale_agg, stale_bytes)
                     .map_err(|e| e.to_string())?;
             }
@@ -470,6 +518,46 @@ pub fn run_fleet(
             .wpa_output()
             .map(|w| w.stats.hot_functions)
             .unwrap_or(0);
+
+        // Armed: assemble this release's provenance document and cite
+        // the top placement divergences from the previous release.
+        let mut divergences: Vec<String> = Vec::new();
+        if opts.provenance {
+            let rich = prod
+                .wpa_output()
+                .and_then(|w| w.rich.clone())
+                .unwrap_or_default();
+            let layout = prod
+                .wpa_output()
+                .map(|w| w.provenance.clone())
+                .unwrap_or_default();
+            let placements = prod
+                .po_binary()
+                .map(|b| b.placements.clone())
+                .unwrap_or_default();
+            let doc = ProvenanceDoc::collect(
+                spec.name,
+                scale,
+                opts.seed,
+                &rich,
+                &layout,
+                &placements,
+                merge_prov,
+            );
+            if let Some(prev) = &prev_doc {
+                let d = diff_docs(prev, &doc);
+                if let Some(div) = &d.first_divergence {
+                    divergences.push(div.clone());
+                }
+                for m in d.moved.iter().take(3) {
+                    divergences.push(format!(
+                        "{} moved: order {} -> {}, addr {:#x} -> {:#x}",
+                        m.symbol, m.order_a, m.order_b, m.addr_a, m.addr_b
+                    ));
+                }
+            }
+            prev_doc = Some(doc);
+        }
         let cache_delta = prod_caches.object_stats().since(&cache_before);
         let achieved = prod
             .evaluate(opts.eval_budget)
@@ -511,6 +599,7 @@ pub fn run_fleet(
             cache_hit_rate: cache_delta.hit_rate(),
             translated_records,
             dropped_records,
+            divergences,
         });
 
         history.push(HistoryEntry {
@@ -573,6 +662,7 @@ mod tests {
                 cache_hit_rate: 0.25,
                 translated_records: 0,
                 dropped_records: 0,
+                divergences: Vec::new(),
             }],
         };
         let json = report.to_json_string();
@@ -599,6 +689,7 @@ mod tests {
             cache_hit_rate: 1.0,
             translated_records: 9,
             dropped_records: 0,
+            divergences: Vec::new(),
         };
         let mut report = FleetReport {
             benchmark: "x".into(),

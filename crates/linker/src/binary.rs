@@ -61,6 +61,35 @@ impl FinalLayout {
     }
 }
 
+/// One text section's final placement, in layout order — the linker's
+/// contribution to layout provenance: where each ordered symbol
+/// actually landed and what the relaxation pass did to its bytes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SymbolPlacement {
+    /// The section's primary function symbol (the section name when no
+    /// primary symbol exists, e.g. cold fragments named by section).
+    pub symbol: String,
+    /// Position in the final text order (0 = first placed).
+    pub order: u32,
+    /// Final virtual address.
+    pub addr: u64,
+    /// Size before relaxation, in bytes.
+    pub input_size: u64,
+    /// Size after relaxation, in bytes.
+    pub final_size: u64,
+    /// Fall-through jumps deleted inside this symbol (§4.2).
+    pub deleted_jumps: u32,
+    /// Branches rewritten from long to short form inside this symbol.
+    pub shrunk_branches: u32,
+}
+
+impl SymbolPlacement {
+    /// Bytes saved by relaxation inside this symbol.
+    pub fn bytes_saved(&self) -> u64 {
+        self.input_size.saturating_sub(self.final_size)
+    }
+}
+
 /// Link-action statistics.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub struct LinkStats {
@@ -103,6 +132,8 @@ pub struct LinkedBinary {
     pub size_breakdown: SizeBreakdown,
     /// Final per-block layout for simulation.
     pub layout: FinalLayout,
+    /// Every text section's final placement, in text order.
+    pub placements: Vec<SymbolPlacement>,
     /// Link statistics.
     pub stats: LinkStats,
 }
@@ -174,6 +205,7 @@ mod tests {
             bb_addr_map: BbAddrMap::default(),
             size_breakdown: SizeBreakdown::default(),
             layout: FinalLayout::default(),
+            placements: Vec::new(),
             stats: LinkStats::default(),
         };
         assert_eq!(bin.read(0x1001, 2), Some(&[2, 3][..]));

@@ -22,7 +22,10 @@ mod link;
 mod ordering;
 mod relax;
 
-pub use binary::{FinalBlock, FinalFunctionLayout, FinalLayout, LinkStats, LinkedBinary, PlacedSection};
+pub use binary::{
+    FinalBlock, FinalFunctionLayout, FinalLayout, LinkStats, LinkedBinary, PlacedSection,
+    SymbolPlacement,
+};
 pub use error::LinkError;
 pub use link::{link, link_traced, LinkInput, LinkOptions};
 pub use ordering::SymbolOrdering;

@@ -2,6 +2,7 @@
 
 use crate::binary::{
     FinalBlock, FinalFunctionLayout, FinalLayout, LinkStats, LinkedBinary, PlacedSection,
+    SymbolPlacement,
 };
 use crate::error::LinkError;
 use crate::ordering::SymbolOrdering;
@@ -327,6 +328,36 @@ fn link_impl(
         }
     }
 
+    // Per-symbol placement provenance: where each text section landed
+    // in the final order, and what relaxation did to its bytes.
+    let placements = text_order
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| {
+            let s = &secs[i];
+            let mut deleted_jumps = 0u32;
+            let mut shrunk_branches = 0u32;
+            for site in &s.sites {
+                match site.state {
+                    SiteState::Deleted => deleted_jumps += 1,
+                    SiteState::Short => shrunk_branches += 1,
+                    SiteState::Long => {}
+                }
+            }
+            SymbolPlacement {
+                symbol: primary_symbol
+                    .get(&i)
+                    .map_or_else(|| s.name.clone(), |n| (*n).to_string()),
+                order: pos as u32,
+                addr: s.addr,
+                input_size: s.bytes.len() as u64,
+                final_size: s.final_size() as u64,
+                deleted_jumps,
+                shrunk_branches,
+            }
+        })
+        .collect();
+
     let placed = secs
         .iter()
         .map(|s| PlacedSection {
@@ -357,6 +388,7 @@ fn link_impl(
         bb_addr_map,
         size_breakdown: breakdown,
         layout,
+        placements,
         stats,
     })
 }

@@ -16,5 +16,8 @@ mod salvage;
 
 pub use agg::AggregatedProfile;
 pub use lbr::{HardwareProfile, LbrRecord, LbrSample, SamplingConfig, LBR_DEPTH};
-pub use merge::{effective_weight, merge_profiles, MergeOptions, ProfileSource};
+pub use merge::{
+    effective_weight, merge_profiles, merge_profiles_logged, MergeOptions, MergeProvenance,
+    ProfileSource, SourceContribution,
+};
 pub use salvage::{degrade_profile, salvage_profile, SalvageStats};

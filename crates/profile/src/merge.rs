@@ -175,6 +175,40 @@ fn merge_edge_maps(maps: &[ScaledEdges<'_>], target: u128) -> HashMap<(u64, u64)
     out
 }
 
+/// One source's share of a merge, for provenance reporting: its
+/// scheduling inputs, the decayed weight the merge actually used, and
+/// the raw branch mass it brought in.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SourceContribution {
+    /// Index of the source in the merge's input slice.
+    pub index: usize,
+    /// Raw weight as passed in.
+    pub weight: u64,
+    /// Age in releases as passed in.
+    pub age: u32,
+    /// The effective (decayed) weight used, on the common denominator
+    /// `decay_den^max_age` — see [`effective_weight`]. Zero means the
+    /// source was dropped entirely.
+    pub effective: u128,
+    /// The source's own total branch count (its un-decayed sample
+    /// mass).
+    pub branch_total: u64,
+}
+
+/// What one [`merge_profiles_logged`] call did: the decay rule in
+/// force and every source's decayed contribution, in input order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MergeProvenance {
+    /// Largest source age seen (the common-denominator exponent).
+    pub max_age: u32,
+    /// Decay numerator in force.
+    pub decay_num: u32,
+    /// Decay denominator in force.
+    pub decay_den: u32,
+    /// Per-source contributions, in input order.
+    pub sources: Vec<SourceContribution>,
+}
+
 /// Merges profile sources into one aggregated profile.
 ///
 /// Properties (see the module docs for the arithmetic caveats):
@@ -192,12 +226,41 @@ fn merge_edge_maps(maps: &[ScaledEdges<'_>], target: u128) -> HashMap<(u64, u64)
 /// Sources with zero weight (or fully-decayed weight) contribute
 /// nothing; with no effective sources the result is empty.
 pub fn merge_profiles(sources: &[ProfileSource], opts: &MergeOptions) -> AggregatedProfile {
+    merge_profiles_logged(sources, opts, None)
+}
+
+/// [`merge_profiles`], additionally filling `log` (when given) with
+/// each source's decayed contribution. The merged profile is identical
+/// either way; arming only records *who* funded the merged counts and
+/// at what decayed weight.
+pub fn merge_profiles_logged(
+    sources: &[ProfileSource],
+    opts: &MergeOptions,
+    log: Option<&mut MergeProvenance>,
+) -> AggregatedProfile {
     assert!(opts.decay_den > 0, "decay denominator must be nonzero");
     let max_age = sources.iter().map(|s| s.age).max().unwrap_or(0);
     let scales: Vec<u128> = sources
         .iter()
         .map(|s| effective_weight(s.weight, s.age, max_age, opts))
         .collect();
+    if let Some(log) = log {
+        log.max_age = max_age;
+        log.decay_num = opts.decay_num;
+        log.decay_den = opts.decay_den;
+        log.sources = sources
+            .iter()
+            .zip(&scales)
+            .enumerate()
+            .map(|(index, (s, &effective))| SourceContribution {
+                index,
+                weight: s.weight,
+                age: s.age,
+                effective,
+                branch_total: s.agg.total_branch_count(),
+            })
+            .collect();
+    }
     let branch_target: u128 = sources
         .iter()
         .zip(&scales)
@@ -333,6 +396,31 @@ mod tests {
             );
             last = share;
         }
+    }
+
+    #[test]
+    fn logged_merge_is_identical_and_records_decayed_weights() {
+        let sources = [
+            src(&[((1, 2), 941), ((3, 4), 59)], 17, 0),
+            src(&[((1, 2), 3), ((9, 9), 777)], 400, 2),
+            src(&[((5, 6), 123)], 1, 1),
+        ];
+        let opts = MergeOptions::default();
+        let plain = merge_profiles(&sources, &opts);
+        let mut log = MergeProvenance::default();
+        let logged = merge_profiles_logged(&sources, &opts, Some(&mut log));
+        assert_eq!(plain, logged, "arming must not change the merge");
+        assert_eq!(log.max_age, 2);
+        assert_eq!((log.decay_num, log.decay_den), (1, 2));
+        assert_eq!(log.sources.len(), 3);
+        // Age 0 at decay 1/2 over max_age 2: weight * 2^2.
+        assert_eq!(log.sources[0].effective, 17 * 4);
+        // Age 2: weight * 1^2 * 2^0.
+        assert_eq!(log.sources[1].effective, 400);
+        // Age 1: weight * 1 * 2.
+        assert_eq!(log.sources[2].effective, 2);
+        assert_eq!(log.sources[0].branch_total, 1000);
+        assert_eq!(log.sources[1].index, 1);
     }
 
     #[test]

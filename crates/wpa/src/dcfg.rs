@@ -8,12 +8,71 @@ use propeller_profile::AggregatedProfile;
 use std::collections::HashMap;
 
 /// How a dynamic edge was observed.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum EdgeKind {
     /// A taken branch between blocks of one function.
     Branch,
     /// Straight-line execution between adjacent blocks.
     Fallthrough,
+}
+
+impl EdgeKind {
+    /// Stable short label, used by the provenance document.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeKind::Branch => "branch",
+            EdgeKind::Fallthrough => "fallthrough",
+        }
+    }
+}
+
+/// One aggregated profile observation that funded an intra-function CFG
+/// edge weight: the raw address pair the hardware reported, and the
+/// block edge it mapped to.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FundingRecord {
+    /// Mapper function index of the funded edge.
+    pub func: u32,
+    /// Source block id of the funded edge.
+    pub src: u32,
+    /// Destination block id of the funded edge.
+    pub dst: u32,
+    /// Observation kind of the funded edge.
+    pub kind: EdgeKind,
+    /// Raw profile `from` address (branch source, or fall-through range
+    /// start).
+    pub from: u64,
+    /// Raw profile `to` address (branch target, or fall-through range
+    /// end).
+    pub to: u64,
+    /// Aggregated sample weight this observation contributed.
+    pub weight: u64,
+}
+
+/// The sample-mass-to-edge-weight ledger [`Dcfg::build_logged`] fills
+/// when armed: every intra-function edge weight, attributed back to the
+/// aggregated profile address pairs that funded it. Records are sorted
+/// by `(func, src, dst, kind, from, to)` so the ledger is byte-stable
+/// regardless of profile hash-map iteration order.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct EdgeFunding {
+    /// All funding observations, in the fixed sort order.
+    pub records: Vec<FundingRecord>,
+}
+
+impl EdgeFunding {
+    /// The records funding one specific edge.
+    pub fn for_edge(&self, func: u32, src: u32, dst: u32) -> Vec<&FundingRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.func == func && r.src == src && r.dst == dst)
+            .collect()
+    }
+
+    /// The records funding any edge of one function.
+    pub fn for_func(&self, func: u32) -> Vec<&FundingRecord> {
+        self.records.iter().filter(|r| r.func == func).collect()
+    }
 }
 
 /// One weighted intra-function edge.
@@ -88,6 +147,18 @@ impl Dcfg {
     /// Samples that do not map to any known block (kernel addresses,
     /// stripped functions) are skipped, as in the real tool.
     pub fn build(mapper: &AddressMapper, profile: &AggregatedProfile) -> Self {
+        Self::build_logged(mapper, profile, None)
+    }
+
+    /// [`Dcfg::build`], additionally filling `funding` (when given)
+    /// with the profile-address-to-edge attribution ledger. The built
+    /// graph is identical either way; arming only records *why* each
+    /// intra-function edge got its weight.
+    pub fn build_logged(
+        mapper: &AddressMapper,
+        profile: &AggregatedProfile,
+        mut funding: Option<&mut EdgeFunding>,
+    ) -> Self {
         let mut dcfg = Dcfg {
             functions: vec![DcfgFunction::default(); mapper.num_functions()],
             ..Dcfg::default()
@@ -110,6 +181,17 @@ impl Dcfg {
                     .edges
                     .entry((sb, db, EdgeKind::Branch))
                     .or_insert(0) += w;
+                if let Some(funding) = funding.as_deref_mut() {
+                    funding.records.push(FundingRecord {
+                        func: sf,
+                        src: sb,
+                        dst: db,
+                        kind: EdgeKind::Branch,
+                        from,
+                        to,
+                        weight: w,
+                    });
+                }
             } else if db == 0 {
                 *dcfg.calls.entry((sf, sb, df)).or_insert(0) += w;
             } else {
@@ -143,6 +225,17 @@ impl Dcfg {
                             .edges
                             .entry((pb, b, EdgeKind::Fallthrough))
                             .or_insert(0) += w;
+                        if let Some(funding) = funding.as_deref_mut() {
+                            funding.records.push(FundingRecord {
+                                func: f,
+                                src: pb,
+                                dst: b,
+                                kind: EdgeKind::Fallthrough,
+                                from: lo,
+                                to: hi,
+                                weight: w,
+                            });
+                        }
                     }
                 }
                 prev = Some((f, b));
@@ -161,6 +254,13 @@ impl Dcfg {
                     *c = (*c).max(w);
                 }
             }
+        }
+        // The profile maps iterate in hash order; fix the ledger order
+        // so provenance serialization is byte-stable.
+        if let Some(funding) = funding {
+            funding
+                .records
+                .sort_unstable_by_key(|r| (r.func, r.src, r.dst, r.kind, r.from, r.to));
         }
         dcfg
     }
@@ -309,6 +409,53 @@ mod tests {
         assert!(af.block_counts[&0] >= 1);
         assert!(af.block_counts[&1] >= 1);
         assert_eq!(af.edges[&(0, 1, EdgeKind::Fallthrough)], 1);
+    }
+
+    #[test]
+    fn armed_build_attributes_edge_weights_to_profile_addresses() {
+        let bin = binary();
+        let mapper = AddressMapper::from_binary(&bin);
+        let alpha = bin.symbol("alpha").unwrap();
+        let alpha_layout = bin
+            .layout
+            .functions
+            .iter()
+            .find(|f| f.func_symbol == "alpha")
+            .unwrap();
+        let bb1 = alpha_layout
+            .blocks
+            .iter()
+            .find(|b| b.block == BlockId(1))
+            .unwrap();
+        let mut prof = HardwareProfile::new("t");
+        prof.samples.push(LbrSample::new(vec![
+            LbrRecord {
+                from: alpha + 2,
+                to: bb1.addr,
+            };
+            3
+        ]));
+        let agg = AggregatedProfile::from_profile(&prof);
+        let plain = Dcfg::build(&mapper, &agg);
+        let mut funding = EdgeFunding::default();
+        let armed = Dcfg::build_logged(&mapper, &agg, Some(&mut funding));
+        // Arming must not change the graph itself.
+        assert_eq!(armed.num_edges(), plain.num_edges());
+        assert_eq!(
+            armed.functions[0].edges[&(0, 1, EdgeKind::Branch)],
+            plain.functions[0].edges[&(0, 1, EdgeKind::Branch)]
+        );
+        // The edge weight traces back to the exact raw address pair.
+        let recs = funding.for_edge(0, 0, 1);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].from, alpha + 2);
+        assert_eq!(recs[0].to, bb1.addr);
+        assert_eq!(recs[0].weight, 3);
+        assert_eq!(recs[0].kind, EdgeKind::Branch);
+        // Funded weights sum to the edge weight.
+        let total: u64 = recs.iter().map(|r| r.weight).sum();
+        assert_eq!(total, armed.functions[0].edges[&(0, 1, EdgeKind::Branch)]);
+        assert_eq!(funding.for_func(0).len(), funding.records.len());
     }
 
     #[test]

@@ -123,6 +123,7 @@ struct Chain {
     version: u64,
 }
 
+#[derive(Copy, Clone)]
 struct HeapEntry {
     gain: f64,
     x: usize,
@@ -147,9 +148,13 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Primary: gain. Ties broken deterministically (smaller chain
-        // ids pop first) so results do not depend on hash iteration
-        // order at call sites.
+        // Primary: gain. Equal-gain candidates are ordered by a stable
+        // key — (smaller x, then smaller y, then smaller split) pops
+        // first — never by insertion order or hash iteration at call
+        // sites. Chain ids are dense node indices of each chain's
+        // founding block, so the key is a pure function of the input
+        // problem; provenance replay and the `--jobs` byte-identity
+        // gates both depend on this total order staying stable.
         self.gain
             .total_cmp(&other.gain)
             .then_with(|| other.x.cmp(&self.x))
@@ -276,6 +281,33 @@ impl<'a> Optimizer<'a> {
     }
 }
 
+/// The best live, version-fresh, positive-gain candidate currently in
+/// `heap`, as the rejected-alternative record. A linear scan over the
+/// heap's backing store: selection by the total [`HeapEntry`] order, so
+/// the result is independent of the heap's internal arrangement — and
+/// the heap itself is never touched, so arming provenance cannot
+/// perturb the merge sequence.
+fn best_queued_alternative(opt: &Optimizer<'_>, heap: &BinaryHeap<HeapEntry>) -> Option<RejectedAlt> {
+    let mut best: Option<&HeapEntry> = None;
+    for e in heap.iter() {
+        if e.gain <= 1e-9 || opt.chains[e.x].is_none() || opt.chains[e.y].is_none() {
+            continue;
+        }
+        if opt.chain(e.x).version != e.vx || opt.chain(e.y).version != e.vy {
+            continue;
+        }
+        if best.is_none_or(|b| e.cmp(b) == Ordering::Greater) {
+            best = Some(e);
+        }
+    }
+    best.map(|e| RejectedAlt {
+        x: e.x,
+        y: e.y,
+        gain: e.gain,
+        split: (e.split != usize::MAX).then_some(e.split),
+    })
+}
+
 /// Evaluates [`Optimizer::best_merge`] for every ordered pair in
 /// `pairs`, returning results in `pairs` order. With `jobs > 1` the
 /// pair list is cut into contiguous chunks evaluated on scoped worker
@@ -327,6 +359,54 @@ pub struct MergeRecord {
     pub split: bool,
 }
 
+/// The best still-valid merge candidate left in the queue at the moment
+/// another candidate was committed — the decision the optimizer
+/// *rejected* by choosing the winner.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct RejectedAlt {
+    /// Receiving chain id (dense node index of its founding block).
+    pub x: usize,
+    /// Absorbed chain id.
+    pub y: usize,
+    /// The gain this alternative would have realized.
+    pub gain: f64,
+    /// Split position into `x`, `None` for plain concatenation.
+    pub split: Option<usize>,
+}
+
+/// One committed merge with enough context to replay it exactly: which
+/// chain absorbed which, at what split point, and what the best
+/// rejected alternative was at that moment.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct MergeStep {
+    /// Receiving chain id (dense node index of its founding block).
+    pub x: usize,
+    /// Absorbed chain id.
+    pub y: usize,
+    /// Ext-TSP score gained.
+    pub gain: f64,
+    /// Split position into `x` (lay out X1 Y X2), `None` for
+    /// concatenation.
+    pub split: Option<usize>,
+    /// The best live, up-to-date candidate still queued when this merge
+    /// committed — `None` when the queue held no other valid
+    /// positive-gain candidate.
+    pub rejected: Option<RejectedAlt>,
+}
+
+/// Full candidate-level provenance of one optimizer run, collected only
+/// when armed via [`MergeLog::with_detail`] — every committed step in
+/// replayable form plus the count of candidate evaluations performed
+/// (so rejected work is `evaluations - steps.len()`).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MergeDetail {
+    /// Committed merges with replay context, in commit order.
+    pub steps: Vec<MergeStep>,
+    /// Total candidate merge evaluations performed (accepted and
+    /// rejected alike).
+    pub evaluations: u64,
+}
+
 /// What one [`order_nodes_logged`] run did, for provenance reporting.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct MergeLog {
@@ -339,6 +419,95 @@ pub struct MergeLog {
     /// Whether the optimizer's layout scored below the input order and
     /// the input order was returned instead.
     pub used_input_order: bool,
+    /// Candidate-level detail; collected only when the log was armed
+    /// with [`MergeLog::with_detail`].
+    pub detail: Option<MergeDetail>,
+}
+
+impl MergeLog {
+    /// A log armed for candidate-level provenance collection.
+    pub fn with_detail() -> MergeLog {
+        MergeLog {
+            detail: Some(MergeDetail::default()),
+            ..MergeLog::default()
+        }
+    }
+}
+
+/// Replays a recorded merge sequence over fresh singleton chains and
+/// reassembles the final node order with the exact rule the optimizer
+/// uses (entry chain first, remaining chains by descending density,
+/// ties by founding block). Returns the reconstructed order, which must
+/// equal what [`order_nodes_logged`] returned when it recorded `steps`
+/// (unless that run fell back to the input order).
+///
+/// # Errors
+///
+/// Reports the first structurally impossible step (dead chain, split
+/// out of range) or a missing entry node.
+pub fn replay_merges(nodes: &[Node], entry: u32, steps: &[MergeStep]) -> Result<Vec<u32>, String> {
+    let entry_idx = nodes
+        .iter()
+        .position(|n| n.id == entry)
+        .ok_or_else(|| format!("entry node {entry} not in node list"))?;
+    let mut chains: Vec<Option<Vec<usize>>> = (0..nodes.len()).map(|i| Some(vec![i])).collect();
+    for (si, s) in steps.iter().enumerate() {
+        if s.x >= chains.len() || s.y >= chains.len() {
+            return Err(format!("step {si}: chain id out of range"));
+        }
+        let cy = chains[s.y]
+            .take()
+            .ok_or_else(|| format!("step {si}: absorbed chain {} already dead", s.y))?;
+        let cx = chains[s.x]
+            .as_mut()
+            .ok_or_else(|| format!("step {si}: receiving chain {} already dead", s.x))?;
+        match s.split {
+            None => cx.extend_from_slice(&cy),
+            Some(k) => {
+                if k > cx.len() {
+                    return Err(format!("step {si}: split {k} beyond chain length {}", cx.len()));
+                }
+                let tail = cx.split_off(k);
+                cx.extend_from_slice(&cy);
+                cx.extend_from_slice(&tail);
+            }
+        }
+    }
+    let entry_chain = chains
+        .iter()
+        .position(|c| c.as_ref().is_some_and(|b| b.contains(&entry_idx)))
+        .ok_or("entry block lost during replay")?;
+    let mut rest: Vec<usize> = Vec::new();
+    for (ci, c) in chains.iter().enumerate() {
+        if c.is_some() && ci != entry_chain {
+            rest.push(ci);
+        }
+    }
+    let density = |ci: usize| -> f64 {
+        let blocks = chains[ci].as_ref().expect("live chain");
+        let count: u64 = blocks.iter().map(|&b| nodes[b].count).sum();
+        let size: u64 = blocks
+            .iter()
+            .map(|&b| nodes[b].size as u64)
+            .sum::<u64>()
+            .max(1);
+        count as f64 / size as f64
+    };
+    rest.sort_by(|&a, &b| {
+        density(b)
+            .total_cmp(&density(a))
+            .then_with(|| chains[a].as_ref().unwrap()[0].cmp(&chains[b].as_ref().unwrap()[0]))
+    });
+    let mut order = Vec::with_capacity(nodes.len());
+    for &b in chains[entry_chain].as_ref().expect("entry chain") {
+        order.push(nodes[b].id);
+    }
+    for ci in rest {
+        for &b in chains[ci].as_ref().expect("live chain") {
+            order.push(nodes[b].id);
+        }
+    }
+    Ok(order)
 }
 
 /// Orders `nodes` to maximize the Ext-TSP score, keeping `entry` first.
@@ -468,6 +637,8 @@ pub fn order_nodes_logged(
             }
         }
     };
+    let detail_on = log.as_deref().is_some_and(|l| l.detail.is_some());
+    let mut evaluations = 0u64;
     let mut pairs: Vec<(usize, usize)> = (0..nodes.len())
         .flat_map(|x| opt.neighbors[x].iter().map(move |&y| (x, y)))
         .filter(|&(x, y)| x < y)
@@ -477,6 +648,7 @@ pub fn order_nodes_logged(
         .into_iter()
         .flat_map(|(x, y)| [(x, y), (y, x)])
         .collect();
+    evaluations += ordered.len() as u64;
     let evals = eval_pairs(&opt, &ordered, params.jobs);
     push_evaluated(&opt, &mut heap, &ordered, evals);
 
@@ -491,9 +663,18 @@ pub fn order_nodes_logged(
         }
         if opt.chain(x).version != entry.vx || opt.chain(y).version != entry.vy {
             // Stale: recompute and requeue.
+            evaluations += 1;
             push_pair(&opt, &mut heap, x, y);
             continue;
         }
+        // The rejected alternative must be read before `apply` bumps
+        // chain versions (a read-only heap scan, so the merge sequence
+        // is identical whether or not detail is armed).
+        let rejected = if detail_on {
+            best_queued_alternative(&opt, &heap)
+        } else {
+            None
+        };
         opt.apply(x, y, entry.split);
         merges += 1;
         if tel.is_enabled() {
@@ -504,6 +685,15 @@ pub fn order_nodes_logged(
                 gain: entry.gain,
                 split: entry.split != usize::MAX,
             });
+            if let Some(detail) = log.detail.as_mut() {
+                detail.steps.push(MergeStep {
+                    x,
+                    y,
+                    gain: entry.gain,
+                    split: (entry.split != usize::MAX).then_some(entry.split),
+                    rejected,
+                });
+            }
         }
         let mut affected: Vec<usize> = opt.neighbors[x].iter().copied().collect();
         affected.sort_unstable();
@@ -511,8 +701,12 @@ pub fn order_nodes_logged(
             .into_iter()
             .flat_map(|n| [(x, n), (n, x)])
             .collect();
+        evaluations += ordered.len() as u64;
         let evals = eval_pairs(&opt, &ordered, params.jobs);
         push_evaluated(&opt, &mut heap, &ordered, evals);
+    }
+    if let Some(detail) = log.as_deref_mut().and_then(|l| l.detail.as_mut()) {
+        detail.evaluations = evaluations;
     }
 
     if tel.is_enabled() && merges > 0 {
@@ -709,6 +903,181 @@ mod tests {
     #[should_panic(expected = "entry must be a node")]
     fn unknown_entry_panics() {
         order_nodes(&nodes(&[(0, 1, 0)]), &[], 9, &ExtTspParams::default());
+    }
+
+    #[test]
+    fn equal_gain_candidates_pop_by_stable_key_not_insertion_order() {
+        // The tie-break audit: equal-gain heap entries must order by
+        // the stable (x, y, split) key — smaller ids first — no matter
+        // what order they were pushed in. Provenance replay and the
+        // --jobs byte-identity gates depend on this.
+        let entry = |x: usize, y: usize, split: usize| HeapEntry {
+            gain: 1.0,
+            x,
+            y,
+            vx: 0,
+            vy: 0,
+            split,
+        };
+        let a = entry(0, 1, usize::MAX);
+        let b = entry(0, 2, usize::MAX);
+        let c = entry(1, 0, usize::MAX);
+        let d = entry(0, 1, 1);
+        // Pairwise: smaller x wins, then smaller y, then smaller split.
+        assert_eq!(a.cmp(&c), Ordering::Greater, "smaller x pops first");
+        assert_eq!(a.cmp(&b), Ordering::Greater, "smaller y pops first");
+        assert_eq!(d.cmp(&a), Ordering::Greater, "smaller split pops first");
+        for perm in [
+            vec![&a, &b, &c, &d],
+            vec![&d, &c, &b, &a],
+            vec![&b, &d, &a, &c],
+        ] {
+            let mut heap = BinaryHeap::new();
+            for e in perm {
+                heap.push(*e);
+            }
+            let popped: Vec<(usize, usize, usize)> = std::iter::from_fn(|| heap.pop())
+                .map(|e| (e.x, e.y, e.split))
+                .collect();
+            assert_eq!(
+                popped,
+                vec![
+                    (0, 1, 1),
+                    (0, 1, usize::MAX),
+                    (0, 2, usize::MAX),
+                    (1, 0, usize::MAX)
+                ],
+                "pop order must be the stable key order"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_gain_merge_commits_smallest_chain_ids() {
+        // Two disjoint, perfectly symmetric hot pairs: (1,2) and (3,4)
+        // have identical merge gains, so the tie-break alone decides
+        // which commits first — it must be the smaller chain ids.
+        let ns = nodes(&[(0, 10, 1), (1, 10, 50), (2, 10, 50), (3, 10, 50), (4, 10, 50)]);
+        let es = vec![edge(1, 2, 40), edge(3, 4, 40), edge(0, 1, 1), edge(0, 3, 1)];
+        let mut log = MergeLog::with_detail();
+        order_nodes_logged(
+            &ns,
+            &es,
+            0,
+            &ExtTspParams::default(),
+            &propeller_telemetry::Telemetry::disabled(),
+            Some(&mut log),
+        );
+        let steps = &log.detail.as_ref().unwrap().steps;
+        let first_hot = steps
+            .iter()
+            .find(|s| (s.gain - 40.0).abs() < 1e-6)
+            .expect("a full-weight fallthrough merge committed");
+        assert_eq!((first_hot.x, first_hot.y), (1, 2), "{steps:?}");
+    }
+
+    #[test]
+    fn detail_arming_never_changes_the_layout_or_merge_sequence() {
+        let ns: Vec<Node> = (0..40)
+            .map(|i| Node {
+                id: i,
+                size: 14 + (i % 5),
+                count: (i as u64 * 29) % 90,
+            })
+            .collect();
+        let es: Vec<Edge> = (0..39)
+            .map(|i| edge(i, i + 1, ((i as u64 * 23) % 70) + 1))
+            .chain((0..15).map(|i| edge((i * 7) % 40, (i * 3 + 2) % 40, 30)))
+            .collect();
+        let p = ExtTspParams::default();
+        let tel = propeller_telemetry::Telemetry::disabled();
+        let mut plain = MergeLog::default();
+        let a = order_nodes_logged(&ns, &es, 0, &p, &tel, Some(&mut plain));
+        let mut armed = MergeLog::with_detail();
+        let b = order_nodes_logged(&ns, &es, 0, &p, &tel, Some(&mut armed));
+        assert_eq!(a, b, "arming detail must not perturb the layout");
+        assert_eq!(plain.merges, armed.merges);
+        let detail = armed.detail.unwrap();
+        assert_eq!(detail.steps.len(), armed.merges.len());
+        assert!(detail.evaluations >= detail.steps.len() as u64);
+        // Each recorded step matches its terse record.
+        for (s, m) in detail.steps.iter().zip(&armed.merges) {
+            assert_eq!(s.gain, m.gain);
+            assert_eq!(s.split.is_some(), m.split);
+        }
+        // At least one early step had a competing live candidate.
+        assert!(detail.steps.iter().any(|s| s.rejected.is_some()));
+        // A rejected alternative never beats the winner.
+        for s in &detail.steps {
+            if let Some(r) = &s.rejected {
+                assert!(r.gain <= s.gain + 1e-9, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn replaying_recorded_steps_reconstructs_the_exact_order() {
+        // Hot edges stride by two, so the input order scores poorly and
+        // the optimizer's merged layout (two fall-through chains)
+        // always wins — no input-order fallback.
+        let ns: Vec<Node> = (0..20)
+            .map(|i| Node {
+                id: i,
+                size: 16,
+                count: 10 + (i as u64 % 4),
+            })
+            .collect();
+        let es: Vec<Edge> = (0..18)
+            .map(|i| edge(i, i + 2, 100 + (i as u64 % 3)))
+            .chain([edge(0, 1, 1)])
+            .collect();
+        let mut log = MergeLog::with_detail();
+        let order = order_nodes_logged(
+            &ns,
+            &es,
+            0,
+            &ExtTspParams::default(),
+            &propeller_telemetry::Telemetry::disabled(),
+            Some(&mut log),
+        );
+        assert!(!log.used_input_order);
+        let replayed =
+            replay_merges(&ns, 0, &log.detail.as_ref().unwrap().steps).expect("replay");
+        assert_eq!(replayed, order);
+        let mut sorted = replayed.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>(), "permutation");
+    }
+
+    #[test]
+    fn replay_rejects_malformed_steps() {
+        let ns = nodes(&[(0, 10, 1), (1, 10, 1)]);
+        let dead = MergeStep {
+            x: 0,
+            y: 1,
+            gain: 1.0,
+            split: None,
+            rejected: None,
+        };
+        // Absorbing the same chain twice is impossible.
+        assert!(replay_merges(&ns, 0, &[dead, dead]).is_err());
+        let oob = MergeStep {
+            x: 0,
+            y: 5,
+            gain: 1.0,
+            split: None,
+            rejected: None,
+        };
+        assert!(replay_merges(&ns, 0, &[oob]).is_err());
+        let bad_split = MergeStep {
+            x: 0,
+            y: 1,
+            gain: 1.0,
+            split: Some(9),
+            rejected: None,
+        };
+        assert!(replay_merges(&ns, 0, &[bad_split]).is_err());
+        assert!(replay_merges(&ns, 9, &[]).is_err(), "unknown entry");
     }
 
     #[test]

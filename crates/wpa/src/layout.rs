@@ -1,7 +1,7 @@
 //! The WPA driver: from profile to `cc_prof` + `ld_prof`.
 
-use crate::dcfg::{Dcfg, DcfgFunction};
-use crate::exttsp::{order_nodes_logged, order_nodes_traced, Edge, MergeLog, Node};
+use crate::dcfg::{Dcfg, DcfgFunction, EdgeFunding};
+use crate::exttsp::{order_nodes_logged, order_nodes_traced, Edge, MergeLog, MergeStep, Node};
 use crate::mapper::AddressMapper;
 use crate::options::{GlobalOrder, IntraOrder, WpaOptions};
 use propeller_codegen::{Cluster, ClusterMap, ClusterName, FunctionClusters};
@@ -86,6 +86,49 @@ pub struct LayoutProvenance {
     pub functions: Vec<FunctionProvenance>,
 }
 
+/// The full, replayable decision record of one hot function — the
+/// exact Ext-TSP problem it was given (hot nodes in dense order, the
+/// sorted hot-to-hot edge list) and every merge step committed, with
+/// the best rejected alternative at each step.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RichFunctionRecord {
+    /// The function's primary symbol.
+    pub func_symbol: String,
+    /// Mapper function index — joins [`EdgeFunding`] records.
+    pub func_index: u32,
+    /// Hot nodes exactly as handed to the optimizer (dense order).
+    pub nodes: Vec<Node>,
+    /// Hot-to-hot edges exactly as handed to the optimizer (sorted by
+    /// `(src, dst, weight)`).
+    pub edges: Vec<Edge>,
+    /// Committed merge steps in commit order; replaying them over
+    /// `nodes` reconstructs the emitted hot-block order.
+    pub steps: Vec<MergeStep>,
+    /// Total candidate merge evaluations the optimizer performed.
+    pub evaluations: u64,
+    /// Whether the optimizer fell back to the input order (in which
+    /// case the emitted order is `nodes` order, not the replay result).
+    pub used_input_order: bool,
+    /// Ext-TSP score of the emitted order.
+    pub final_score: f64,
+    /// Ext-TSP score of the input order.
+    pub input_score: f64,
+}
+
+/// Everything [`run_wpa_agg_traced`] collects when
+/// [`WpaOptions::provenance`] is armed: the per-function replayable
+/// merge records plus the sample-to-edge funding ledger. Deliberately
+/// kept out of [`LayoutProvenance`] (and therefore out of
+/// `run_report.json`) so armed runs stay bit-identical on the default
+/// report surface.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct RichProvenance {
+    /// One record per hot function, in address-map order.
+    pub functions: Vec<RichFunctionRecord>,
+    /// Which profile address pairs funded each CFG edge weight.
+    pub funding: EdgeFunding,
+}
+
 /// The two Phase 3 outputs plus statistics.
 #[derive(Clone, Debug)]
 pub struct WpaOutput {
@@ -98,6 +141,10 @@ pub struct WpaOutput {
     /// Per-hot-function layout decisions (clusters, merge gains,
     /// symbol-order positions) for the doctor's `RunReport`.
     pub provenance: LayoutProvenance,
+    /// Full decision provenance, present only when
+    /// [`WpaOptions::provenance`] was armed. Never serialized into the
+    /// run report — it feeds `layout_provenance.json`.
+    pub rich: Option<RichProvenance>,
 }
 
 impl WpaOutput {
@@ -118,6 +165,7 @@ impl WpaOutput {
             symbol_order: SymbolOrdering::default(),
             stats: WpaStats { hot_functions: 0, hot_blocks: 0, ..stats },
             provenance: LayoutProvenance::default(),
+            rich: None,
         }
     }
 }
@@ -196,9 +244,11 @@ pub fn run_wpa_agg_traced(
         let _s = tel.span_under("wpa.address_mapping", wpa_id);
         AddressMapper::from_binary(binary)
     };
+    let armed = opts.provenance;
+    let mut funding = if armed { Some(EdgeFunding::default()) } else { None };
     let dcfg = {
         let mut s = tel.span_under("wpa.dynamic_cfg", wpa_id);
-        let dcfg = Dcfg::build(&mapper, agg);
+        let dcfg = Dcfg::build_logged(&mapper, agg, funding.as_mut());
         s.set_peak_bytes(mapper.modeled_memory_bytes() + dcfg.modeled_memory_bytes());
         dcfg
     };
@@ -225,6 +275,7 @@ pub fn run_wpa_agg_traced(
         ..WpaStats::default()
     };
     let mut provenance = LayoutProvenance::default();
+    let mut rich_functions: Vec<RichFunctionRecord> = Vec::new();
 
     let intra_span = tel.span_under("wpa.intra_layout", wpa_id);
     for fmap in &binary.bb_addr_map.functions {
@@ -287,33 +338,45 @@ pub fn run_wpa_agg_traced(
             .filter(|b| !hot.contains(b))
             .collect();
 
-        // Intra-function order.
-        let mut merge_log = MergeLog::default();
+        // Intra-function order. The Ext-TSP problem (nodes + edges) is
+        // also what the rich provenance record snapshots, so it is
+        // built whenever either consumer needs it.
+        let mut merge_log = if armed {
+            MergeLog::with_detail()
+        } else {
+            MergeLog::default()
+        };
+        let needs_graph = armed || matches!(opts.intra, IntraOrder::ExtTsp);
+        let (nodes, edges) = if needs_graph {
+            let nodes: Vec<Node> = hot
+                .iter()
+                .map(|&b| Node {
+                    id: b,
+                    size: size_of[&b],
+                    count: count(b),
+                })
+                .collect();
+            let mut edges: Vec<Edge> = dc
+                .edges
+                .iter()
+                .filter(|(&(s, d, _), _)| hot.contains(&s) && hot.contains(&d))
+                .map(|(&(s, d, _), &w)| Edge {
+                    src: s,
+                    dst: d,
+                    weight: w,
+                })
+                .collect();
+            edges.sort_unstable_by_key(|e| (e.src, e.dst, e.weight));
+            (nodes, edges)
+        } else {
+            (Vec::new(), Vec::new())
+        };
         let hot_order: Vec<u32> = match opts.intra {
             IntraOrder::Original => {
                 merge_log.used_input_order = true;
                 hot.clone()
             }
             IntraOrder::ExtTsp => {
-                let nodes: Vec<Node> = hot
-                    .iter()
-                    .map(|&b| Node {
-                        id: b,
-                        size: size_of[&b],
-                        count: count(b),
-                    })
-                    .collect();
-                let mut edges: Vec<Edge> = dc
-                    .edges
-                    .iter()
-                    .filter(|(&(s, d, _), _)| hot.contains(&s) && hot.contains(&d))
-                    .map(|(&(s, d, _), &w)| Edge {
-                        src: s,
-                        dst: d,
-                        weight: w,
-                    })
-                    .collect();
-                edges.sort_unstable_by_key(|e| (e.src, e.dst, e.weight));
                 order_nodes_logged(&nodes, &edges, 0, &opts.exttsp, tel, Some(&mut merge_log))
             }
         };
@@ -404,6 +467,20 @@ pub fn run_wpa_agg_traced(
             }
         }
         provenance.functions.push(fn_prov);
+        if armed {
+            let detail = merge_log.detail.take().unwrap_or_default();
+            rich_functions.push(RichFunctionRecord {
+                func_symbol: fmap.func_symbol.clone(),
+                func_index: fi,
+                nodes,
+                edges,
+                steps: detail.steps,
+                evaluations: detail.evaluations,
+                used_input_order: merge_log.used_input_order,
+                final_score: merge_log.final_score,
+                input_score: merge_log.input_score,
+            });
+        }
 
         cluster_map.insert(fid, FunctionClusters { clusters });
     }
@@ -512,6 +589,31 @@ pub fn run_wpa_agg_traced(
         }
     }
 
+    // Assemble the rich provenance under its own span so collection
+    // cost is visible in the Chrome trace.
+    let rich = if armed {
+        let _s = tel.span_under("wpa.provenance", wpa_id);
+        let funding = funding.take().unwrap_or_default();
+        let steps_total: u64 = rich_functions.iter().map(|r| r.steps.len() as u64).sum();
+        let evals_total: u64 = rich_functions.iter().map(|r| r.evaluations).sum();
+        if tel.is_enabled() {
+            tel.counter_add(
+                "wpa.provenance.records",
+                rich_functions.len() as u64 + steps_total + funding.records.len() as u64,
+            );
+            tel.counter_add(
+                "wpa.provenance.rejected_candidates",
+                evals_total.saturating_sub(steps_total),
+            );
+        }
+        Some(RichProvenance {
+            functions: rich_functions,
+            funding,
+        })
+    } else {
+        None
+    };
+
     let analysis_mem = mapper.modeled_memory_bytes() + dcfg.modeled_memory_bytes();
     stats.modeled_peak_memory = stats.profile_bytes.max(analysis_mem);
     if tel.is_enabled() {
@@ -529,6 +631,7 @@ pub fn run_wpa_agg_traced(
         symbol_order,
         stats,
         provenance,
+        rich,
     }
 }
 

@@ -28,10 +28,10 @@ mod options;
 mod prefetch;
 
 pub use cc_prof::{cluster_map_from_text, cluster_map_to_text, CcProfError};
-pub use dcfg::{Dcfg, DcfgEdge, DcfgFunction, EdgeKind};
+pub use dcfg::{Dcfg, DcfgEdge, DcfgFunction, EdgeFunding, EdgeKind, FundingRecord};
 pub use layout::{
     run_wpa, run_wpa_agg_traced, run_wpa_traced, ClusterProvenance, FunctionProvenance,
-    LayoutProvenance, WpaOutput,
+    LayoutProvenance, RichFunctionRecord, RichProvenance, WpaOutput,
     WpaStats,
 };
 pub use mapper::{AddressMapper, MappedLoc};

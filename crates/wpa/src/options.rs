@@ -65,6 +65,11 @@ pub struct WpaOptions {
     pub interproc_split: usize,
     /// Ext-TSP parameters.
     pub exttsp: ExtTspParams,
+    /// Collect full decision provenance: per-merge candidate detail
+    /// (accepted and rejected), edge-funding attribution, and the rich
+    /// per-function records behind `layout_provenance.json`. Off by
+    /// default; arming never changes the layout or any default report.
+    pub provenance: bool,
 }
 
 impl Default for WpaOptions {
@@ -78,6 +83,7 @@ impl Default for WpaOptions {
             min_function_samples: 32,
             interproc_split: 0,
             exttsp: ExtTspParams::default(),
+            provenance: false,
         }
     }
 }
@@ -104,6 +110,7 @@ mod tests {
         assert!(o.split);
         assert_eq!(o.global, GlobalOrder::HotFirst);
         assert_eq!(o.interproc_split, 0);
+        assert!(!o.provenance, "provenance collection must be opt-in");
     }
 
     #[test]

@@ -483,3 +483,67 @@ proptest! {
         prop_assert!(share_at(age_young) >= share_at(age_young + age_gap));
     }
 }
+
+/// Runs an armed full pipeline and returns its provenance document
+/// plus its `run_report.json` contents.
+fn provenance_run(
+    bench: &str,
+    scale: f64,
+    seed: u64,
+    jobs: usize,
+    armed: bool,
+) -> (propeller_doctor::ProvenanceDoc, String) {
+    use propeller::{Propeller, PropellerOptions};
+    use propeller_doctor::{ProvenanceDoc, RunReport};
+    let gen = propeller_integration_tests::small_benchmark(bench, scale, seed);
+    let opts = PropellerOptions {
+        jobs,
+        seed,
+        provenance: armed,
+        ..PropellerOptions::default()
+    };
+    let mut p = Propeller::new(gen.program, gen.entries, opts);
+    let report = p.run_all().expect("pipeline completes");
+    let run_report =
+        RunReport::collect(bench, scale, seed, &p, &report, None, None, None);
+    let wpa = p.wpa_output().expect("phase 3 ran");
+    let rich = wpa.rich.clone().unwrap_or_default();
+    let placements = p
+        .po_binary()
+        .map(|b| b.placements.clone())
+        .unwrap_or_default();
+    let doc =
+        ProvenanceDoc::collect(bench, scale, seed, &rich, &wpa.provenance, &placements, None);
+    (doc, run_report.to_json_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// benchmark × seed × `--jobs` ∈ {1, 8}: replaying the recorded
+    /// merge steps reconstructs the exact emitted block order (a
+    /// duplicate-free permutation of each function's hot nodes), the
+    /// provenance document is bit-identical across job counts, and an
+    /// armed run's `run_report.json` is bit-identical to an unarmed
+    /// run's.
+    #[test]
+    fn provenance_replay_reconstructs_layout_and_changes_nothing(
+        bench_idx in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        let bench = ["clang", "557.xz"][bench_idx];
+        let (doc1, armed_report) = provenance_run(bench, 0.002, seed, 1, true);
+        doc1.validate_replay().expect("replay reconstructs every emitted order");
+        let (doc8, _) = provenance_run(bench, 0.002, seed, 8, true);
+        prop_assert_eq!(
+            doc1.to_json_string(),
+            doc8.to_json_string(),
+            "layout_provenance.json differs between --jobs 1 and --jobs 8"
+        );
+        let (_, unarmed_report) = provenance_run(bench, 0.002, seed, 1, false);
+        prop_assert_eq!(
+            armed_report, unarmed_report,
+            "arming provenance changed run_report.json"
+        );
+    }
+}
