@@ -145,12 +145,61 @@
 //!     self-checks that post-warmup releases are bit-identical and
 //!     exits nonzero if not — the CI fleet gate.
 //!
+//! propeller_cli traffic [<benchmark>] [--scale S] [--seed N]
+//!                       [--requests N] [--tenants N] [--slots N]
+//!                       [--queue N] [--mean-gap SECS] [--faults SPEC]
+//!                       [--jobs N] [--cache-capacity N] [--soak]
+//!                       [--verify-batch] [--out DIR] [--trace-out FILE]
+//!     Drive the multi-tenant relink service with a seeded traffic
+//!     plan: Zipf tenant shares, bursts, client cancellations, and
+//!     oversize jobs the admission controller must refuse against the
+//!     12 GiB per-action ceiling. Every admitted job runs the real
+//!     4-phase pipeline against one shared content-addressed cache;
+//!     scheduling (queueing, deadlines, seeded-jitter client retry) is
+//!     entirely in modeled sim-seconds, so the run replays
+//!     bit-identically and the per-tenant ServiceLedger is
+//!     byte-identical across --jobs counts. --faults adds the
+//!     service-level kinds (burst-amplify, cancel-job, drop-queue,
+//!     evict-storm) alongside the pipeline kinds; the ledger accounts
+//!     for every fired fault one-for-one and the run exits nonzero on
+//!     any accounting violation. --verify-batch additionally relinks
+//!     every distinct completed-job signature in batch mode and
+//!     requires byte-identical binaries — the relink-as-a-service
+//!     correctness contract. --soak runs the built-in 8-scenario chaos
+//!     matrix (each at --jobs 1 and 8 plus a replay) instead of a
+//!     single run — the CI serve gate. --out writes
+//!     service_ledger.json (and per-scenario soak_<name>.json under
+//!     --soak); --trace-out writes a Chrome trace with one lane per
+//!     tenant.
+//!
+//! propeller_cli serve [<benchmark>] [--scale S] [--seed N]
+//!                     [--slots N] [--queue N] [--faults SPEC]
+//!                     [--jobs N]
+//!     The long-running service as a stdin REPL. Commands: `submit
+//!     <tenant> [program-seed]` enqueues a relink (arrivals tick one
+//!     modeled second apart), `drain` advances the modeled clock until
+//!     the queue empties, `ledger` prints the per-tenant table,
+//!     `shutdown` (or EOF) drains, prints the final ledger, and exits
+//!     nonzero if any tenant's accounting is inexact. The shared cache
+//!     persists across drains, so repeated submissions of one tenant
+//!     hit warm artifacts exactly like a real relink server.
+//!
+//! propeller_cli service-diff <A.json> <B.json>
+//!     Diff two service ledgers counter-by-counter. Byte-identical
+//!     ledgers print OK; any divergence is a FAIL finding and a
+//!     nonzero exit — the determinism gate CI runs across --jobs 1
+//!     vs --jobs 8 traffic ledgers.
+//!
 //! propeller_cli dump <benchmark> [--scale S] [--seed N]
 //!     Print the generated program as an IR listing.
 //!
 //! propeller_cli map <benchmark> [--scale S] [--seed N]
 //!     Print the optimized binary's linker map.
 //! ```
+//!
+//! `fleet` also accepts `--faults SPEC`: the plan injects into every
+//! production release build (never the oracle arm), and each release's
+//! ledger row records the degradation its build survived.
 
 use propeller::{
     EvalReport, FaultKind, FaultPlan, Propeller, PropellerOptions,
@@ -158,21 +207,85 @@ use propeller::{
 use propeller_bench::{run_benchmark, RunConfig};
 use propeller_doctor::{
     audit_pipeline, degradation_findings, diagnose, diff_docs, diff_reports,
-    provenance_findings, render_annotate, render_explain, render_layout_diff,
-    render_perf_report, trend_reports, AttributionSection, DoctorConfig, ProvenanceDoc,
-    RelinkPolicy, RunReport, Severity,
+    diff_service_ledgers, provenance_findings, render_annotate, render_explain,
+    render_layout_diff, render_perf_report, service_findings, trend_reports,
+    AttributionSection, DoctorConfig, ProvenanceDoc, RelinkPolicy, RunReport, Severity,
 };
+use propeller_faults::ServiceLedger;
 use propeller_fleet::{run_fleet, FleetOptions};
+use propeller_serve::{
+    gen_traffic, run_soak, soak_scenarios, RelinkService, ServeOptions, TrafficConfig,
+};
 use propeller_sim::{heatmap_csv, heatmap_pgm, AttributedCounters, Event, SimOptions};
 use propeller_synth::{all_specs, generate, spec_by_name, GenParams};
 use propeller_telemetry::{chrome::to_chrome_trace, report::render_text, JsonValue, Telemetry};
 use propeller_wpa::cluster_map_to_text;
 use std::process::ExitCode;
 
+/// What went wrong in a CLI invocation, with a `source()` chain down
+/// to the failing layer. Every fallible path in `main` funnels through
+/// [`fail`], which renders the chain — no `unwrap`/`expect` on state
+/// that a run can actually reach.
+#[derive(Debug)]
+enum CliError {
+    /// An internal pipeline contract broke: an artifact that the
+    /// completed phases must have produced is absent.
+    MissingArtifact { what: &'static str, needs: &'static str },
+    Pipeline { source: propeller::PipelineError },
+    Serve { source: propeller_serve::ServeError },
+    Io { path: String, source: std::io::Error },
+    Parse { path: String, detail: String },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::MissingArtifact { what, needs } => write!(
+                f,
+                "internal contract broken: {what} is missing although {needs}; \
+                 please report this"
+            ),
+            CliError::Pipeline { .. } => write!(f, "pipeline failed"),
+            CliError::Serve { .. } => write!(f, "relink service failed"),
+            CliError::Io { path, .. } => write!(f, "cannot access {path}"),
+            CliError::Parse { path, detail } => write!(f, "cannot parse {path}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Pipeline { source } => Some(source),
+            CliError::Serve { source } => Some(source),
+            CliError::Io { source, .. } => Some(source),
+            CliError::MissingArtifact { .. } | CliError::Parse { .. } => None,
+        }
+    }
+}
+
+/// Renders `e` and its whole `source()` chain to stderr and returns
+/// the failure exit code.
+fn fail(e: CliError) -> ExitCode {
+    eprintln!("error: {e}");
+    let mut cur = std::error::Error::source(&e);
+    while let Some(s) = cur {
+        eprintln!("  caused by: {s}");
+        cur = s.source();
+    }
+    ExitCode::FAILURE
+}
+
+/// `Option` → `Result` for artifacts the completed phases guarantee.
+fn require<T>(opt: Option<T>, what: &'static str, needs: &'static str) -> Result<T, CliError> {
+    opt.ok_or(CliError::MissingArtifact { what, needs })
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: propeller_cli <list | run <bench> | doctor <bench> | chaos [bench] | \
-         fleet [bench] | compare <bench> | perf-report <bench> | \
+         fleet [bench] | traffic [bench] | serve [bench] | \
+         service-diff <A.json> <B.json> | compare <bench> | perf-report <bench> | \
          annotate <bench> <function> | explain <bench> <function>[:<block>] | \
          diff <A.json> <B.json> [C.json ...] | layout-diff <A.json> <B.json> | \
          dump <bench> | map <bench>> \
@@ -180,7 +293,8 @@ fn usage() -> ExitCode {
          [--tolerance PCT] [--faults SPEC] [--jobs N] [--top N] [--event E] \
          [--releases N] [--machines M] [--drift D] [--skew-threshold T] \
          [--history-window W] [--flamegraph-out FILE] [--heatmap-out FILE] \
-         [--provenance]"
+         [--provenance] [--requests N] [--tenants N] [--slots N] [--queue N] \
+         [--cache-capacity N] [--mean-gap SECS] [--soak] [--verify-batch]"
     );
     ExitCode::FAILURE
 }
@@ -301,14 +415,14 @@ fn collect_provenance(
     benchmark: &str,
     scale: f64,
     seed: u64,
-) -> ProvenanceDoc {
-    let wpa = pipeline.wpa_output().expect("phase 3 ran");
+) -> Result<ProvenanceDoc, CliError> {
+    let wpa = require(pipeline.wpa_output(), "the WPA output", "phase 3 completed")?;
     let rich = wpa.rich.clone().unwrap_or_default();
     let placements = pipeline
         .po_binary()
         .map(|b| b.placements.clone())
         .unwrap_or_default();
-    ProvenanceDoc::collect(
+    Ok(ProvenanceDoc::collect(
         benchmark,
         scale,
         seed,
@@ -316,14 +430,14 @@ fn collect_provenance(
         &wpa.provenance,
         &placements,
         None,
-    )
+    ))
 }
 
-fn write_file(path: &std::path::Path, contents: String) -> Result<(), ExitCode> {
-    if let Err(e) = std::fs::write(path, contents) {
-        eprintln!("cannot write {}: {e}", path.display());
-        return Err(ExitCode::FAILURE);
-    }
+fn write_file(path: &std::path::Path, contents: String) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|source| CliError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
     println!("wrote {}", path.display());
     Ok(())
 }
@@ -511,7 +625,7 @@ fn run_chaos_matrix(
             ("seed".to_string(), JsonValue::Num(seed as f64)),
             ("scenarios".to_string(), JsonValue::Arr(scenarios)),
         ]);
-        write_file(&dir.join("chaos_report.json"), doc.to_string_pretty())?;
+        write_file(&dir.join("chaos_report.json"), doc.to_string_pretty()).map_err(fail)?;
     }
     if violations.is_empty() {
         println!("chaos gate: all {} scenarios survived", chaos_matrix().len());
@@ -590,10 +704,7 @@ fn main() -> ExitCode {
             }
             let report = match pipeline.run_all() {
                 Ok(r) => r,
-                Err(e) => {
-                    eprintln!("pipeline failed: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(source) => return fail(CliError::Pipeline { source }),
             };
             println!(
                 "hot functions: {}; hot modules: {:.0}%; relaxation: {} jumps deleted, {} branches shrunk",
@@ -612,7 +723,10 @@ fn main() -> ExitCode {
             if !report.degradation.is_clean() {
                 print!("{}", report.degradation.render());
             }
-            let eval = pipeline.evaluate(400_000).expect("phases ran");
+            let eval = match pipeline.evaluate(400_000) {
+                Ok(e) => e,
+                Err(source) => return fail(CliError::Pipeline { source }),
+            };
             println!(
                 "speedup over PGO+ThinLTO baseline: {:+.2}% ({} -> {} cycles)",
                 eval.speedup_pct(),
@@ -620,22 +734,34 @@ fn main() -> ExitCode {
                 eval.optimized.cycles
             );
             if let Some(path) = &args.flamegraph_out {
-                let folded = pipeline.profile_folded().expect("attribution was armed");
-                if let Err(code) =
-                    write_file(std::path::Path::new(path), folded.to_text())
-                {
-                    return code;
+                let folded = match require(
+                    pipeline.profile_folded(),
+                    "the folded profile",
+                    "--flamegraph-out armed attribution",
+                ) {
+                    Ok(f) => f,
+                    Err(e) => return fail(e),
+                };
+                if let Err(e) = write_file(std::path::Path::new(path), folded.to_text()) {
+                    return fail(e);
                 }
             }
             if let Some(path) = &args.heatmap_out {
-                let hm = pipeline.profile_heatmap().expect("heat map was armed");
+                let hm = match require(
+                    pipeline.profile_heatmap(),
+                    "the heat map",
+                    "--heatmap-out armed collection",
+                ) {
+                    Ok(h) => h,
+                    Err(e) => return fail(e),
+                };
                 let text = if path.ends_with(".pgm") {
                     heatmap_pgm(hm)
                 } else {
                     heatmap_csv(hm)
                 };
-                if let Err(code) = write_file(std::path::Path::new(path), text) {
-                    return code;
+                if let Err(e) = write_file(std::path::Path::new(path), text) {
+                    return fail(e);
                 }
             }
             let trace = pipeline
@@ -643,10 +769,16 @@ fn main() -> ExitCode {
                 .is_enabled()
                 .then(|| pipeline.telemetry().drain());
             if let Some(path) = &args.trace_out {
-                let trace = trace.as_ref().expect("telemetry enabled");
-                if let Err(e) = std::fs::write(path, to_chrome_trace(trace)) {
-                    eprintln!("cannot write {path}: {e}");
-                    return ExitCode::FAILURE;
+                let trace = match require(
+                    trace.as_ref(),
+                    "the telemetry trace",
+                    "--trace-out enabled telemetry",
+                ) {
+                    Ok(t) => t,
+                    Err(e) => return fail(e),
+                };
+                if let Err(source) = std::fs::write(path, to_chrome_trace(trace)) {
+                    return fail(CliError::Io { path: path.clone(), source });
                 }
                 println!("wrote {path} (open at chrome://tracing or ui.perfetto.dev)\n");
                 print!("{}", render_text(trace));
@@ -657,7 +789,14 @@ fn main() -> ExitCode {
                     eprintln!("cannot create {}: {e}", dir.display());
                     return ExitCode::FAILURE;
                 }
-                let wpa = pipeline.wpa_output().expect("phase 3 ran");
+                let wpa = match require(
+                    pipeline.wpa_output(),
+                    "the WPA output",
+                    "phase 3 completed",
+                ) {
+                    Ok(w) => w,
+                    Err(e) => return fail(e),
+                };
                 let cc = cluster_map_to_text(&wpa.cluster_map, pipeline.program());
                 let ld = wpa.symbol_order.to_file_contents();
                 let audit = match audit_pipeline(&pipeline) {
@@ -688,13 +827,16 @@ fn main() -> ExitCode {
                     ("ld_prof.txt", ld),
                     ("run_report.json", run_report.to_json_string()),
                 ] {
-                    if let Err(code) = write_file(&dir.join(name), contents) {
-                        return code;
+                    if let Err(e) = write_file(&dir.join(name), contents) {
+                        return fail(e);
                     }
                 }
                 if args.provenance {
                     let mut doc =
-                        collect_provenance(&pipeline, spec.name, scale, args.seed);
+                        match collect_provenance(&pipeline, spec.name, scale, args.seed) {
+                            Ok(d) => d,
+                            Err(e) => return fail(e),
+                        };
                     if let Some(attr) = pipeline.profile_attribution() {
                         doc.attribution = attr
                             .symbols
@@ -706,11 +848,11 @@ fn main() -> ExitCode {
                         eprintln!("provenance replay check failed: {e}");
                         return ExitCode::FAILURE;
                     }
-                    if let Err(code) = write_file(
+                    if let Err(e) = write_file(
                         &dir.join("layout_provenance.json"),
                         doc.to_json_string(),
                     ) {
-                        return code;
+                        return fail(e);
                     }
                 }
             }
@@ -743,9 +885,8 @@ fn main() -> ExitCode {
             opts.provenance = true;
             let jobs = opts.jobs;
             let mut pipeline = Propeller::new(gen.program, gen.entries, opts);
-            if let Err(e) = pipeline.run_all() {
-                eprintln!("pipeline failed: {e}");
-                return ExitCode::FAILURE;
+            if let Err(source) = pipeline.run_all() {
+                return fail(CliError::Pipeline { source });
             }
             let audit = match audit_pipeline(&pipeline) {
                 Ok(a) => a,
@@ -758,8 +899,18 @@ fn main() -> ExitCode {
             let mut findings = diagnose(&audit, &cfg);
             findings.extend(propeller_doctor::wall_clock_findings(pipeline.times(), jobs));
             let scale = args.scale.unwrap_or(spec.default_scale);
-            let doc = collect_provenance(&pipeline, spec.name, scale, args.seed);
-            let wpa = pipeline.wpa_output().expect("phase 3 ran");
+            let doc = match collect_provenance(&pipeline, spec.name, scale, args.seed) {
+                Ok(d) => d,
+                Err(e) => return fail(e),
+            };
+            let wpa = match require(
+                pipeline.wpa_output(),
+                "the WPA output",
+                "phase 3 completed",
+            ) {
+                Ok(w) => w,
+                Err(e) => return fail(e),
+            };
             findings.extend(provenance_findings(&wpa.provenance, &doc, &cfg));
             findings.extend(degradation_findings(pipeline.degradation()));
             print!("{}", propeller_doctor::render(&findings));
@@ -834,6 +985,18 @@ fn main() -> ExitCode {
                     "--skew-threshold" => fopts.policy = RelinkPolicy { max_skew: val!() },
                     "--history-window" => fopts.history_window = val!(),
                     "--provenance" => fopts.provenance = true,
+                    "--faults" => {
+                        let Some(spec) = argv.next() else {
+                            return usage();
+                        };
+                        match FaultPlan::parse(&spec) {
+                            Ok(plan) => fopts.faults = plan,
+                            Err(e) => {
+                                eprintln!("invalid --faults spec: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
                     "--out" => {
                         let Some(dir) = argv.next() else {
                             return usage();
@@ -915,6 +1078,399 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Some("traffic") => {
+            let mut benchmark = "clang".to_string();
+            let mut scale: Option<f64> = None;
+            let mut seed: Option<u64> = None;
+            let mut cfg = TrafficConfig::default();
+            // Keep CLI service runs CI-cheap; the library default
+            // budget targets the larger in-process harnesses.
+            let mut sopts = ServeOptions { profile_budget: 30_000, ..ServeOptions::default() };
+            let mut jobs = 1usize;
+            let mut soak = false;
+            let mut verify_batch = false;
+            let mut out: Option<String> = None;
+            let mut trace_out: Option<String> = None;
+            let mut first = true;
+            while let Some(tok) = argv.next() {
+                macro_rules! val {
+                    () => {
+                        match argv.next().and_then(|s| s.parse().ok()) {
+                            Some(v) => v,
+                            None => return usage(),
+                        }
+                    };
+                }
+                match tok.as_str() {
+                    "--scale" => scale = Some(val!()),
+                    "--seed" => seed = Some(val!()),
+                    "--requests" => cfg.requests = val!(),
+                    "--tenants" => cfg.tenants = val!(),
+                    "--mean-gap" => cfg.mean_gap_secs = val!(),
+                    "--slots" => sopts.slots = val!(),
+                    "--queue" => sopts.queue_capacity = val!(),
+                    "--cache-capacity" => sopts.cache_capacity = Some(val!()),
+                    "--jobs" => jobs = val!(),
+                    "--soak" => soak = true,
+                    "--verify-batch" => verify_batch = true,
+                    "--faults" => {
+                        let Some(spec) = argv.next() else {
+                            return usage();
+                        };
+                        match FaultPlan::parse(&spec) {
+                            Ok(plan) => sopts.faults = plan,
+                            Err(e) => {
+                                eprintln!("invalid --faults spec: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    "--out" => {
+                        let Some(dir) = argv.next() else {
+                            return usage();
+                        };
+                        out = Some(dir);
+                    }
+                    "--trace-out" => {
+                        let Some(path) = argv.next() else {
+                            return usage();
+                        };
+                        trace_out = Some(path);
+                    }
+                    t if first && !t.starts_with("--") => benchmark = t.to_string(),
+                    _ => return usage(),
+                }
+                first = false;
+            }
+            let scale = scale.unwrap_or(cfg.scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+                sopts.seed = s;
+            }
+            if let Some(dir) = &out {
+                if let Err(source) = std::fs::create_dir_all(dir) {
+                    return fail(CliError::Io { path: dir.clone(), source });
+                }
+            }
+            if soak {
+                // The CI serve gate: the full scenario matrix, each at
+                // --jobs 1 and the requested parallelism plus a
+                // replay, with byte-identical ledgers required.
+                let jobs_matrix = if jobs <= 1 { vec![1, 8] } else { vec![1, jobs] };
+                let outcomes = match run_soak(
+                    &soak_scenarios(),
+                    scale,
+                    sopts.profile_budget,
+                    &jobs_matrix,
+                    verify_batch,
+                ) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("soak gate: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                println!(
+                    "{:<20} {:>9} {:>8} {:>9} {:>8} {:>7} {:>8} {:>5}",
+                    "scenario", "completed", "rejected", "cancelled", "timeouts", "retries",
+                    "hit-rate", "sigs"
+                );
+                for o in &outcomes {
+                    let t = o.ledger.totals();
+                    let hit_rate = if t.cache_lookups > 0 {
+                        t.cache_hits as f64 / t.cache_lookups as f64 * 100.0
+                    } else {
+                        0.0
+                    };
+                    println!(
+                        "{:<20} {:>9} {:>8} {:>9} {:>8} {:>7} {:>7.1}% {:>5}",
+                        o.name,
+                        t.completed,
+                        t.rejected_memory + t.rejected_queue,
+                        t.cancelled_by_client + t.cancelled_by_fault,
+                        t.deadline_timeouts,
+                        t.retries,
+                        hit_rate,
+                        o.signatures_verified,
+                    );
+                    if let Some(dir) = &out {
+                        let path =
+                            std::path::Path::new(dir).join(format!("soak_{}.json", o.name));
+                        if let Err(e) = write_file(&path, o.ledger_json.clone()) {
+                            return fail(e);
+                        }
+                    }
+                }
+                println!(
+                    "soak gate: all {} scenarios passed at jobs {:?} + replay{}",
+                    outcomes.len(),
+                    jobs_matrix,
+                    if verify_batch { " with batch-equivalent binaries" } else { "" }
+                );
+                return ExitCode::SUCCESS;
+            }
+            cfg.benchmark = benchmark.clone();
+            cfg.scale = scale;
+            sopts.jobs = jobs;
+            let profile_budget = sopts.profile_budget;
+            let mut svc = match RelinkService::new(&benchmark, scale, sopts) {
+                Ok(s) => s,
+                Err(source) => return fail(CliError::Serve { source }),
+            };
+            if trace_out.is_some() {
+                svc.set_telemetry(Telemetry::enabled());
+            }
+            let traffic = gen_traffic(&cfg);
+            let report = match svc.run(&traffic) {
+                Ok(r) => r,
+                Err(source) => return fail(CliError::Serve { source }),
+            };
+            let totals = report.ledger.totals();
+            println!(
+                "traffic: {} arrivals ({} burst clones) over {:.1} modeled s -> {} completed",
+                totals.arrivals(),
+                totals.burst_clones,
+                report.ledger.makespan_secs,
+                totals.completed,
+            );
+            print!("{}", report.ledger.render());
+            let findings = service_findings(&report.ledger);
+            print!("{}", propeller_doctor::render(&findings));
+            for v in &report.violations {
+                eprintln!("accounting violation: {v}");
+            }
+            if let Some(path) = &trace_out {
+                let trace = svc.telemetry().drain();
+                if let Err(source) = std::fs::write(path, to_chrome_trace(&trace)) {
+                    return fail(CliError::Io { path: path.clone(), source });
+                }
+                println!("wrote {path} (one lane per tenant; open at ui.perfetto.dev)");
+            }
+            if let Some(dir) = &out {
+                let path = std::path::Path::new(dir).join("service_ledger.json");
+                if let Err(e) = write_file(&path, report.ledger.to_json_string()) {
+                    return fail(e);
+                }
+            }
+            let mut batch_mismatches = 0usize;
+            if verify_batch {
+                // One batch relink per distinct signature; every
+                // same-signature service job must match byte-for-byte.
+                let mut by_sig: std::collections::BTreeMap<
+                    (u32, u64, u64, String),
+                    Vec<&propeller_serve::CompletedJob>,
+                > = std::collections::BTreeMap::new();
+                for job in &report.completed {
+                    by_sig
+                        .entry((
+                            job.tenant,
+                            job.program_seed,
+                            job.job_seed,
+                            job.plan.to_spec_string(),
+                        ))
+                        .or_default()
+                        .push(job);
+                }
+                let signatures = by_sig.len();
+                for jobs_of_sig in by_sig.values() {
+                    let batch = match propeller_serve::batch_binary(
+                        &benchmark,
+                        scale,
+                        jobs_of_sig[0],
+                        1,
+                        profile_budget,
+                    ) {
+                        Ok(b) => b,
+                        Err(source) => return fail(CliError::Serve { source }),
+                    };
+                    for job in jobs_of_sig {
+                        if job.image != batch {
+                            eprintln!(
+                                "batch divergence: job {} (tenant t{}) shipped bytes \
+                                 differing from the equivalent batch relink",
+                                job.id, job.tenant
+                            );
+                            batch_mismatches += 1;
+                        }
+                    }
+                }
+                if batch_mismatches == 0 {
+                    println!(
+                        "batch equivalence: {signatures} signature(s) verified byte-identical"
+                    );
+                }
+            }
+            let exact = report.violations.is_empty()
+                && report.ledger.accounts_exactly()
+                && batch_mismatches == 0
+                && propeller_doctor::worst(&findings) != Severity::Fail;
+            if exact {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("traffic gate: accounting or batch-equivalence failure");
+                ExitCode::FAILURE
+            }
+        }
+        Some("serve") => {
+            let mut benchmark = "clang".to_string();
+            let mut scale: Option<f64> = None;
+            let mut sopts = ServeOptions { profile_budget: 30_000, ..ServeOptions::default() };
+            let mut first = true;
+            while let Some(tok) = argv.next() {
+                macro_rules! val {
+                    () => {
+                        match argv.next().and_then(|s| s.parse().ok()) {
+                            Some(v) => v,
+                            None => return usage(),
+                        }
+                    };
+                }
+                match tok.as_str() {
+                    "--scale" => scale = Some(val!()),
+                    "--seed" => sopts.seed = val!(),
+                    "--slots" => sopts.slots = val!(),
+                    "--queue" => sopts.queue_capacity = val!(),
+                    "--cache-capacity" => sopts.cache_capacity = Some(val!()),
+                    "--jobs" => sopts.jobs = val!(),
+                    "--faults" => {
+                        let Some(spec) = argv.next() else {
+                            return usage();
+                        };
+                        match FaultPlan::parse(&spec) {
+                            Ok(plan) => sopts.faults = plan,
+                            Err(e) => {
+                                eprintln!("invalid --faults spec: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    t if first && !t.starts_with("--") => benchmark = t.to_string(),
+                    _ => return usage(),
+                }
+                first = false;
+            }
+            let scale = scale.unwrap_or(0.002);
+            // Program-seed defaults fold tenants onto shared variants,
+            // exactly like generated traffic, so repeat submissions
+            // exercise warm cross-tenant cache hits.
+            let seed_cfg = TrafficConfig {
+                benchmark: benchmark.clone(),
+                scale,
+                seed: sopts.seed,
+                ..TrafficConfig::default()
+            };
+            let mut svc = match RelinkService::new(&benchmark, scale, sopts) {
+                Ok(s) => s,
+                Err(source) => return fail(CliError::Serve { source }),
+            };
+            println!(
+                "relink service ready on {benchmark} (scale {scale}); commands: \
+                 submit <tenant> [program-seed] | drain | ledger | shutdown"
+            );
+            let mut next_id = 0u64;
+            let mut next_arrival_us = 0u64;
+            for line in std::io::stdin().lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(source) => {
+                        return fail(CliError::Io { path: "<stdin>".into(), source })
+                    }
+                };
+                let mut parts = line.split_whitespace();
+                match parts.next() {
+                    None => {}
+                    Some("submit") => {
+                        let Some(tenant) = parts
+                            .next()
+                            .and_then(|t| t.trim_start_matches('t').parse::<u32>().ok())
+                        else {
+                            eprintln!("usage: submit <tenant> [program-seed]");
+                            continue;
+                        };
+                        let program_seed = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| {
+                                propeller_serve::traffic::program_seed_for(&seed_cfg, tenant)
+                            });
+                        // Arrivals tick one modeled second apart; the
+                        // service clamps to its own clock if later.
+                        next_arrival_us += 1_000_000;
+                        svc.submit(propeller_serve::JobRequest {
+                            id: next_id,
+                            tenant,
+                            arrival_us: next_arrival_us,
+                            program_seed,
+                            declared_peak_bytes: propeller_serve::traffic::NORMAL_PEAK_BYTES,
+                            cancel_after_secs: None,
+                        });
+                        println!("queued job {next_id} for t{tenant} (program {program_seed:#x})");
+                        next_id += 1;
+                    }
+                    Some("drain") => {
+                        if let Err(source) = svc.drain() {
+                            return fail(CliError::Serve { source });
+                        }
+                        let report = svc.report();
+                        println!(
+                            "drained: {} job(s) completed, modeled makespan {:.1}s",
+                            report.completed.len(),
+                            report.ledger.makespan_secs
+                        );
+                    }
+                    Some("ledger") => print!("{}", svc.report().ledger.render()),
+                    Some("shutdown") => break,
+                    Some(other) => {
+                        eprintln!(
+                            "unknown command {other:?} (submit | drain | ledger | shutdown)"
+                        );
+                    }
+                }
+            }
+            if let Err(source) = svc.drain() {
+                return fail(CliError::Serve { source });
+            }
+            let report = svc.report();
+            print!("{}", report.ledger.render());
+            for v in &report.violations {
+                eprintln!("accounting violation: {v}");
+            }
+            if report.violations.is_empty() && report.ledger.accounts_exactly() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("serve gate: ledger does not account exactly");
+                ExitCode::FAILURE
+            }
+        }
+        Some("service-diff") => {
+            let mut paths: Vec<String> = Vec::new();
+            for tok in argv {
+                if tok.starts_with("--") {
+                    return usage();
+                }
+                paths.push(tok);
+            }
+            if paths.len() != 2 {
+                return usage();
+            }
+            let load = |path: &String| -> Result<ServiceLedger, CliError> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|source| CliError::Io { path: path.clone(), source })?;
+                ServiceLedger::from_json_str(&text)
+                    .map_err(|detail| CliError::Parse { path: path.clone(), detail })
+            };
+            let (a, b) = match (load(&paths[0]), load(&paths[1])) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => return fail(e),
+            };
+            let findings = diff_service_ledgers(&a, &b);
+            print!("{}", propeller_doctor::render(&findings));
+            if propeller_doctor::worst(&findings) == Severity::Fail {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
         Some("compare") => {
             let Some(args) = parse_args(argv) else {
                 return usage();
@@ -954,8 +1510,8 @@ fn main() -> ExitCode {
                 let text = run_report.to_json_string();
                 match &args.out {
                     Some(path) => {
-                        if let Err(code) = write_file(std::path::Path::new(path), text) {
-                            return code;
+                        if let Err(e) = write_file(std::path::Path::new(path), text) {
+                            return fail(e);
                         }
                     }
                     None => print!("{text}"),
@@ -1003,11 +1559,25 @@ fn main() -> ExitCode {
                 .into_iter()
                 .map(|(label, layout)| (label, a.simulate_layout_full(layout, &opts)))
                 .collect();
-            let attrs: Vec<(&str, &AttributedCounters)> = runs
-                .iter()
-                .map(|(l, r)| (*l, r.attribution.as_ref().expect("attribution requested")))
-                .collect();
-            let (base, variants) = attrs.split_first().expect("baseline always simulated");
+            let mut attrs: Vec<(&str, &AttributedCounters)> = Vec::with_capacity(runs.len());
+            for (l, r) in &runs {
+                match require(
+                    r.attribution.as_ref(),
+                    "per-symbol attribution",
+                    "the simulation requested it",
+                ) {
+                    Ok(a) => attrs.push((*l, a)),
+                    Err(e) => return fail(e),
+                }
+            }
+            let (base, variants) = match require(
+                attrs.split_first(),
+                "the baseline attribution",
+                "the baseline layout is always simulated",
+            ) {
+                Ok(p) => p,
+                Err(e) => return fail(e),
+            };
             let events = match &args.event {
                 Some(_) => match event_for(&args, Event::Cycles) {
                     Ok(e) => vec![e],
@@ -1053,22 +1623,25 @@ fn main() -> ExitCode {
                     ("top".to_string(), JsonValue::Num(args.top as f64)),
                     ("variants".to_string(), variants_json),
                 ]);
-                if let Err(code) =
+                if let Err(e) =
                     write_file(std::path::Path::new(path), doc.to_string_pretty())
                 {
-                    return code;
+                    return fail(e);
                 }
             }
             if let Some(path) = &args.flamegraph_out {
-                let folded = runs
-                    .iter()
-                    .find(|(l, _)| *l == "propeller")
-                    .and_then(|(_, r)| r.folded.as_ref())
-                    .expect("the propeller run collected folded stacks");
-                if let Err(code) =
-                    write_file(std::path::Path::new(path), folded.to_text())
-                {
-                    return code;
+                let folded = match require(
+                    runs.iter()
+                        .find(|(l, _)| *l == "propeller")
+                        .and_then(|(_, r)| r.folded.as_ref()),
+                    "the propeller run's folded stacks",
+                    "attribution was requested for every variant",
+                ) {
+                    Ok(f) => f,
+                    Err(e) => return fail(e),
+                };
+                if let Err(e) = write_file(std::path::Path::new(path), folded.to_text()) {
+                    return fail(e);
                 }
             }
             ExitCode::SUCCESS
@@ -1100,12 +1673,23 @@ fn main() -> ExitCode {
                 ..SimOptions::default()
             };
             let layouts = a.comparable_layouts();
-            let (_, prop_layout) = layouts
-                .iter()
-                .find(|(l, _)| *l == "propeller")
-                .expect("propeller layout always present");
+            let (_, prop_layout) = match require(
+                layouts.iter().find(|(l, _)| *l == "propeller"),
+                "the propeller layout",
+                "every benchmark run produces one",
+            ) {
+                Ok(p) => p,
+                Err(e) => return fail(e),
+            };
             let run = a.simulate_layout_full(prop_layout, &opts);
-            let attr = run.attribution.as_ref().expect("attribution requested");
+            let attr = match require(
+                run.attribution.as_ref(),
+                "per-symbol attribution",
+                "the simulation requested it",
+            ) {
+                Ok(a) => a,
+                Err(e) => return fail(e),
+            };
             let Some(sym) = attr.symbol(&function) else {
                 eprintln!(
                     "function {function:?} retired no events in the {} run",
@@ -1119,7 +1703,14 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::FAILURE;
             };
-            let wpa = a.pipeline.wpa_output().expect("phase 3 ran");
+            let wpa = match require(
+                a.pipeline.wpa_output(),
+                "the WPA output",
+                "phase 3 completed",
+            ) {
+                Ok(w) => w,
+                Err(e) => return fail(e),
+            };
             let prov = wpa
                 .provenance
                 .functions
@@ -1157,7 +1748,10 @@ fn main() -> ExitCode {
                 cfg.scale_mult = s; // multiplier on the spec default
             }
             let a = run_benchmark(&args.benchmark, &cfg);
-            let doc = collect_provenance(&a.pipeline, a.spec.name, a.scale, args.seed);
+            let doc = match collect_provenance(&a.pipeline, a.spec.name, a.scale, args.seed) {
+                Ok(d) => d,
+                Err(e) => return fail(e),
+            };
             // Simulate the shipped binary with attribution on, so the
             // explanation ends at measured microarchitectural cost.
             let opts = SimOptions {
@@ -1165,12 +1759,23 @@ fn main() -> ExitCode {
                 ..SimOptions::default()
             };
             let layouts = a.comparable_layouts();
-            let (_, prop_layout) = layouts
-                .iter()
-                .find(|(l, _)| *l == "propeller")
-                .expect("propeller layout always present");
+            let (_, prop_layout) = match require(
+                layouts.iter().find(|(l, _)| *l == "propeller"),
+                "the propeller layout",
+                "every benchmark run produces one",
+            ) {
+                Ok(p) => p,
+                Err(e) => return fail(e),
+            };
             let run = a.simulate_layout_full(prop_layout, &opts);
-            let attr = run.attribution.as_ref().expect("attribution requested");
+            let attr = match require(
+                run.attribution.as_ref(),
+                "per-symbol attribution",
+                "the simulation requested it",
+            ) {
+                Ok(a) => a,
+                Err(e) => return fail(e),
+            };
             match render_explain(&doc, &function, block, attr.symbol(&function)) {
                 Ok(text) => {
                     print!("{text}");
@@ -1294,11 +1899,18 @@ fn main() -> ExitCode {
             };
             let mut pipeline =
                 Propeller::new(gen.program, gen.entries, PropellerOptions::default());
-            if let Err(e) = pipeline.run_all() {
-                eprintln!("pipeline failed: {e}");
-                return ExitCode::FAILURE;
+            if let Err(source) = pipeline.run_all() {
+                return fail(CliError::Pipeline { source });
             }
-            print!("{}", pipeline.po_binary().expect("phase 4 ran").map_report());
+            let binary = match require(
+                pipeline.po_binary(),
+                "the optimized binary",
+                "phase 4 completed",
+            ) {
+                Ok(b) => b,
+                Err(e) => return fail(e),
+            };
+            print!("{}", binary.map_report());
             ExitCode::SUCCESS
         }
         _ => usage(),

@@ -10,7 +10,7 @@
 
 use propeller_faults::{FaultInjector, FaultKind};
 use propeller_obj::ContentHash;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// What a verified lookup observed about the entry it touched.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -97,6 +97,11 @@ impl CacheStats {
 struct Entry<T> {
     value: T,
     digest: u64,
+    /// Tenant that inserted the entry (eviction-pressure attribution).
+    owner: u32,
+    /// Monotonic insertion stamp; drives FIFO eviction order and lets
+    /// the eviction queue skip stale records for replaced keys.
+    stamp: u64,
 }
 
 /// Extra mixing over the raw key hash, so the stored digest is not
@@ -124,6 +129,25 @@ fn digest_of(key: ContentHash) -> u64 {
 pub struct ActionCache<T> {
     map: HashMap<ContentHash, Entry<T>>,
     stats: CacheStats,
+    /// Maximum live entries (`None` = unbounded, the default). When
+    /// bounded, inserts evict the oldest-inserted live entries first —
+    /// a deterministic FIFO, independent of hash-map iteration order.
+    capacity: Option<usize>,
+    /// Tenant all subsequent operations are attributed to. The service
+    /// sets this serially before each job; batch runs leave it at 0.
+    owner: u32,
+    /// Next insertion stamp.
+    next_stamp: u64,
+    /// Insertion order of live entries (may contain stale records for
+    /// replaced or removed keys; skipped lazily during eviction).
+    order: VecDeque<(u64, ContentHash)>,
+    /// Per-owner slice of [`CacheStats`].
+    owner_stats: BTreeMap<u32, CacheStats>,
+    /// Per-owner count of *their* entries lost to pressure eviction
+    /// (capacity bound or forced storm), keyed by the entry's owner.
+    owner_evictions: BTreeMap<u32, u64>,
+    /// Total pressure evictions (sum of `owner_evictions`).
+    pressure_evictions: u64,
 }
 
 impl<T> Default for ActionCache<T> {
@@ -131,6 +155,13 @@ impl<T> Default for ActionCache<T> {
         ActionCache {
             map: HashMap::new(),
             stats: CacheStats::default(),
+            capacity: None,
+            owner: 0,
+            next_stamp: 0,
+            order: VecDeque::new(),
+            owner_stats: BTreeMap::new(),
+            owner_evictions: BTreeMap::new(),
+            pressure_evictions: 0,
         }
     }
 }
@@ -156,13 +187,92 @@ impl<T> ActionCache<T> {
         self.stats
     }
 
+    /// Bound the cache to at most `capacity` live entries, evicting
+    /// oldest-inserted-first when the bound is exceeded. `None`
+    /// restores the unbounded default (existing entries stay).
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity.map(|c| c.max(1));
+        self.enforce_capacity();
+    }
+
+    /// The configured capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Attribute all subsequent lookups/inserts to `owner`. Callers
+    /// that interleave tenants must set this from deterministic,
+    /// sequential code (the service's event loop does).
+    pub fn set_owner(&mut self, owner: u32) {
+        self.owner = owner;
+    }
+
+    /// The counters attributed to `owner` (zero if never seen).
+    pub fn owner_stats(&self, owner: u32) -> CacheStats {
+        self.owner_stats.get(&owner).copied().unwrap_or_default()
+    }
+
+    /// How many of `owner`'s entries were lost to pressure eviction.
+    pub fn owner_evictions(&self, owner: u32) -> u64 {
+        self.owner_evictions.get(&owner).copied().unwrap_or(0)
+    }
+
+    /// Total entries lost to pressure eviction (capacity or storm).
+    pub fn pressure_evictions(&self) -> u64 {
+        self.pressure_evictions
+    }
+
     /// Stores `value` under `key`, replacing any previous artifact
     /// (identical inputs produce identical outputs, so a replacement
     /// only ever happens when two racing builds computed the same
     /// thing).
     pub fn insert(&mut self, key: ContentHash, value: T) {
         self.stats.insertions += 1;
-        self.map.insert(key, Entry { value, digest: digest_of(key) });
+        self.owner_stats.entry(self.owner).or_default().insertions += 1;
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.map.insert(key, Entry { value, digest: digest_of(key), owner: self.owner, stamp });
+        self.order.push_back((stamp, key));
+        self.enforce_capacity();
+    }
+
+    /// Force-evict up to `n` oldest-inserted live entries (the
+    /// `evict-storm` fault). Returns how many entries were actually
+    /// evicted; each is attributed to the owner that inserted it.
+    pub fn evict_oldest(&mut self, n: usize) -> u64 {
+        let mut evicted = 0;
+        while evicted < n as u64 {
+            if !self.evict_front() {
+                break;
+            }
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Pop stale order records until a live entry is evicted. Returns
+    /// false when nothing live remains.
+    fn evict_front(&mut self) -> bool {
+        while let Some((stamp, key)) = self.order.pop_front() {
+            let live = matches!(self.map.get(&key), Some(entry) if entry.stamp == stamp);
+            if live {
+                let entry = self.map.remove(&key).expect("live entry exists");
+                *self.owner_evictions.entry(entry.owner).or_insert(0) += 1;
+                self.pressure_evictions += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn enforce_capacity(&mut self) {
+        if let Some(cap) = self.capacity {
+            while self.map.len() > cap {
+                if !self.evict_front() {
+                    break;
+                }
+            }
+        }
     }
 }
 
@@ -194,13 +304,16 @@ impl<T: Clone> ActionCache<T> {
         key: ContentHash,
         faults: Option<&FaultInjector>,
     ) -> (Option<T>, CacheEvent) {
+        let owner = self.owner;
         self.stats.lookups += 1;
+        self.owner_stats.entry(owner).or_default().lookups += 1;
         if self.map.contains_key(&key) {
             if let Some(inj) = faults {
                 let site = format!("{:016x}", key.0);
                 if inj.fires(FaultKind::CacheEviction, &site) {
                     self.map.remove(&key);
                     self.stats.misses += 1;
+                    self.owner_stats.entry(owner).or_default().misses += 1;
                     return (None, CacheEvent::Evicted);
                 }
                 if inj.fires(FaultKind::CacheCorruption, &site) {
@@ -213,6 +326,7 @@ impl<T: Clone> ActionCache<T> {
         match self.map.get(&key) {
             Some(entry) if entry.digest == digest_of(key) => {
                 self.stats.hits += 1;
+                self.owner_stats.entry(owner).or_default().hits += 1;
                 (Some(entry.value.clone()), CacheEvent::Hit)
             }
             Some(_) => {
@@ -221,10 +335,12 @@ impl<T: Clone> ActionCache<T> {
                 // entry.
                 self.map.remove(&key);
                 self.stats.misses += 1;
+                self.owner_stats.entry(owner).or_default().misses += 1;
                 (None, CacheEvent::CorruptInvalidated)
             }
             None => {
                 self.stats.misses += 1;
+                self.owner_stats.entry(owner).or_default().misses += 1;
                 (None, CacheEvent::Miss)
             }
         }
@@ -350,6 +466,94 @@ mod tests {
         // key is a plain miss and fires nothing.
         assert_eq!(c.lookup_verified(key(6), Some(&inj)), (None, CacheEvent::Miss));
         assert_eq!(inj.fired(FaultKind::CacheEviction), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let mut c = ActionCache::new();
+        c.set_capacity(Some(2));
+        c.insert(key(1), "a");
+        c.insert(key(2), "b");
+        c.insert(key(3), "c");
+        // key(1) was inserted first, so it is the one evicted.
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(key(1)), None);
+        assert_eq!(c.lookup(key(2)), Some("b"));
+        assert_eq!(c.lookup(key(3)), Some("c"));
+        assert_eq!(c.pressure_evictions(), 1);
+        assert_eq!(c.owner_evictions(0), 1);
+    }
+
+    #[test]
+    fn replacement_does_not_double_evict() {
+        let mut c = ActionCache::new();
+        c.set_capacity(Some(2));
+        c.insert(key(1), "a");
+        c.insert(key(1), "a2"); // replaces; stale order record remains
+        c.insert(key(2), "b");
+        // Still 2 live entries — the stale record for key(1)'s first
+        // insert must not count toward the bound or get "evicted".
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.pressure_evictions(), 0);
+        c.insert(key(3), "c");
+        // Now key(1) (oldest live stamp) goes.
+        assert_eq!(c.lookup(key(1)), None);
+        assert_eq!(c.lookup(key(2)), Some("b"));
+        assert_eq!(c.pressure_evictions(), 1);
+    }
+
+    #[test]
+    fn unbounded_default_never_evicts() {
+        let mut c = ActionCache::new();
+        for i in 0..100 {
+            c.insert(key(i), i);
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.capacity(), None);
+        assert_eq!(c.pressure_evictions(), 0);
+    }
+
+    #[test]
+    fn per_owner_stats_split_lookup_traffic() {
+        let mut c = ActionCache::new();
+        c.set_owner(1);
+        c.insert(key(1), "a");
+        assert_eq!(c.lookup(key(1)), Some("a"));
+        c.set_owner(2);
+        assert_eq!(c.lookup(key(1)), Some("a"));
+        assert_eq!(c.lookup(key(2)), None);
+        let s1 = c.owner_stats(1);
+        let s2 = c.owner_stats(2);
+        assert_eq!((s1.lookups, s1.hits, s1.misses, s1.insertions), (1, 1, 0, 1));
+        assert_eq!((s2.lookups, s2.hits, s2.misses, s2.insertions), (2, 1, 1, 0));
+        // Owner slices sum to the global stats.
+        let g = c.stats();
+        assert_eq!(g.lookups, s1.lookups + s2.lookups);
+        assert_eq!(g.hits, s1.hits + s2.hits);
+        assert_eq!(g.misses, s1.misses + s2.misses);
+        assert_eq!(g.insertions, s1.insertions + s2.insertions);
+        // hits + misses == lookups holds per owner.
+        assert_eq!(s1.hits + s1.misses, s1.lookups);
+        assert_eq!(s2.hits + s2.misses, s2.lookups);
+    }
+
+    #[test]
+    fn eviction_storm_attributes_victims_to_their_owners() {
+        let mut c = ActionCache::new();
+        c.set_owner(1);
+        c.insert(key(1), "a");
+        c.insert(key(2), "b");
+        c.set_owner(2);
+        c.insert(key(3), "c");
+        let evicted = c.evict_oldest(2);
+        assert_eq!(evicted, 2);
+        assert_eq!(c.owner_evictions(1), 2);
+        assert_eq!(c.owner_evictions(2), 0);
+        assert_eq!(c.lookup(key(3)), Some("c"));
+        // Asking for more than remains evicts what's there.
+        assert_eq!(c.evict_oldest(5), 1);
+        assert!(c.is_empty());
+        assert_eq!(c.pressure_evictions(), 3);
     }
 
     #[test]

@@ -141,6 +141,53 @@ impl BuildCaches {
     pub fn ir_stats(&self) -> propeller_buildsys::CacheStats {
         self.ir.lock().stats()
     }
+
+    /// Bound both caches to `capacity` live entries each (FIFO
+    /// pressure eviction). `None` restores the unbounded default.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        self.ir.lock().set_capacity(capacity);
+        self.obj.lock().set_capacity(capacity);
+    }
+
+    /// Attribute subsequent cache traffic to `tenant`. The relink
+    /// service calls this serially before each job; batch runs never
+    /// touch it, so their traffic lands on tenant 0.
+    pub fn set_tenant(&self, tenant: u32) {
+        self.ir.lock().set_owner(tenant);
+        self.obj.lock().set_owner(tenant);
+    }
+
+    /// Object-cache counters attributed to `tenant`.
+    pub fn tenant_object_stats(&self, tenant: u32) -> propeller_buildsys::CacheStats {
+        self.obj.lock().owner_stats(tenant)
+    }
+
+    /// IR-cache counters attributed to `tenant`.
+    pub fn tenant_ir_stats(&self, tenant: u32) -> propeller_buildsys::CacheStats {
+        self.ir.lock().owner_stats(tenant)
+    }
+
+    /// How many of `tenant`'s entries (both caches) were lost to
+    /// pressure eviction.
+    pub fn tenant_pressure_evictions(&self, tenant: u32) -> u64 {
+        self.ir.lock().owner_evictions(tenant) + self.obj.lock().owner_evictions(tenant)
+    }
+
+    /// Force-evict the `n` oldest entries from the object cache (the
+    /// `evict-storm` fault). Returns how many were actually evicted.
+    pub fn evict_oldest_objects(&self, n: usize) -> u64 {
+        self.obj.lock().evict_oldest(n)
+    }
+
+    /// Live entries in (ir, obj).
+    pub fn len(&self) -> (usize, usize) {
+        (self.ir.lock().len(), self.obj.lock().len())
+    }
+
+    /// True when both caches are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == (0, 0)
+    }
 }
 
 /// The pipeline driver. Owns the program, the build caches, and all

@@ -33,6 +33,7 @@ pub mod perf;
 pub mod policy;
 pub mod provenance;
 pub mod report;
+pub mod service;
 
 pub use audit::{
     audit_pipeline, audit_profile, audit_profile_with_reference, layout_skew, layout_skew_agg,
@@ -53,3 +54,4 @@ pub use provenance::{
     ProvenanceDiff, ProvenanceDoc, ProvenanceFunction,
 };
 pub use report::RunReport;
+pub use service::{diff_service_ledgers, service_findings};

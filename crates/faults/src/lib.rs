@@ -28,7 +28,9 @@
 mod injector;
 mod ledger;
 mod plan;
+mod service;
 
 pub use injector::{FaultInjector, RetryPolicy};
 pub use ledger::{DegradationLedger, LayoutMode};
 pub use plan::{FaultKind, FaultPlan, FaultPlanParseError, FaultSpec};
+pub use service::{ServiceLedger, TenantLedger};

@@ -32,11 +32,23 @@ pub enum FaultKind {
     SampleTruncation,
     /// Hot-object re-codegen fails on every attempt; no retry helps.
     PermanentCodegenFailure,
+    /// A tenant's arrival spawns extra copies of itself — the thundering
+    /// herd a shared relink service must absorb without starving others.
+    TenantBurstAmplification,
+    /// An admitted job is cancelled mid-flight by its owner; the service
+    /// must roll back without publishing partial artifacts.
+    JobCancellation,
+    /// A queued job is silently dropped before it can be scheduled; the
+    /// client retries with backoff as if the enqueue had been refused.
+    QueueDrop,
+    /// Cache pressure spikes and the service force-evicts the oldest
+    /// shared-cache entries, regardless of which tenant inserted them.
+    CacheEvictionStorm,
 }
 
 impl FaultKind {
     /// All kinds in canonical (spec-string) order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::TransientActionFailure,
         FaultKind::ActionTimeout,
         FaultKind::CacheCorruption,
@@ -44,6 +56,21 @@ impl FaultKind {
         FaultKind::LbrRecordCorruption,
         FaultKind::SampleTruncation,
         FaultKind::PermanentCodegenFailure,
+        FaultKind::TenantBurstAmplification,
+        FaultKind::JobCancellation,
+        FaultKind::QueueDrop,
+        FaultKind::CacheEvictionStorm,
+    ];
+
+    /// The kinds rolled by the relink service's scheduler rather than
+    /// by the pipeline itself. The pipeline never consults these, so a
+    /// plan containing only service kinds still drives every batch run
+    /// down its zero-pipeline-fault path.
+    pub const SERVICE: [FaultKind; 4] = [
+        FaultKind::TenantBurstAmplification,
+        FaultKind::JobCancellation,
+        FaultKind::QueueDrop,
+        FaultKind::CacheEvictionStorm,
     ];
 
     /// The `--faults` spec key for this kind.
@@ -56,6 +83,10 @@ impl FaultKind {
             FaultKind::LbrRecordCorruption => "corrupt-lbr",
             FaultKind::SampleTruncation => "truncate-samples",
             FaultKind::PermanentCodegenFailure => "permanent-codegen",
+            FaultKind::TenantBurstAmplification => "burst-amplify",
+            FaultKind::JobCancellation => "cancel-job",
+            FaultKind::QueueDrop => "drop-queue",
+            FaultKind::CacheEvictionStorm => "evict-storm",
         }
     }
 
@@ -116,6 +147,10 @@ pub struct FaultPlan {
     pub lbr_record_corruption: FaultSpec,
     pub sample_truncation: FaultSpec,
     pub permanent_codegen_failure: FaultSpec,
+    pub tenant_burst_amplification: FaultSpec,
+    pub job_cancellation: FaultSpec,
+    pub queue_drop: FaultSpec,
+    pub cache_eviction_storm: FaultSpec,
 }
 
 impl FaultPlan {
@@ -131,6 +166,12 @@ impl FaultPlan {
         FaultKind::ALL.iter().all(|&k| self.spec(k).is_disabled())
     }
 
+    /// True when any service-level kind ([`FaultKind::SERVICE`]) can
+    /// fire. The relink service arms its scheduler injector iff so.
+    pub fn has_service_faults(&self) -> bool {
+        FaultKind::SERVICE.iter().any(|&k| !self.spec(k).is_disabled())
+    }
+
     /// The spec scheduled for `kind`.
     pub fn spec(&self, kind: FaultKind) -> FaultSpec {
         match kind {
@@ -141,6 +182,10 @@ impl FaultPlan {
             FaultKind::LbrRecordCorruption => self.lbr_record_corruption,
             FaultKind::SampleTruncation => self.sample_truncation,
             FaultKind::PermanentCodegenFailure => self.permanent_codegen_failure,
+            FaultKind::TenantBurstAmplification => self.tenant_burst_amplification,
+            FaultKind::JobCancellation => self.job_cancellation,
+            FaultKind::QueueDrop => self.queue_drop,
+            FaultKind::CacheEvictionStorm => self.cache_eviction_storm,
         }
     }
 
@@ -153,6 +198,10 @@ impl FaultPlan {
             FaultKind::LbrRecordCorruption => &mut self.lbr_record_corruption,
             FaultKind::SampleTruncation => &mut self.sample_truncation,
             FaultKind::PermanentCodegenFailure => &mut self.permanent_codegen_failure,
+            FaultKind::TenantBurstAmplification => &mut self.tenant_burst_amplification,
+            FaultKind::JobCancellation => &mut self.job_cancellation,
+            FaultKind::QueueDrop => &mut self.queue_drop,
+            FaultKind::CacheEvictionStorm => &mut self.cache_eviction_storm,
         }
     }
 
@@ -284,5 +333,24 @@ mod tests {
     fn zero_probability_clause_keeps_plan_none() {
         let plan = FaultPlan::parse("transient=0,timeout=0.5:0").unwrap();
         assert!(plan.is_none());
+    }
+
+    #[test]
+    fn service_kinds_parse_and_roundtrip() {
+        let spec = "burst-amplify=0.2,cancel-job=0.1:3,drop-queue=0.25,evict-storm=1";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.tenant_burst_amplification, FaultSpec::p(0.2));
+        assert_eq!(plan.job_cancellation, FaultSpec::count(0.1, 3));
+        assert_eq!(plan.queue_drop, FaultSpec::p(0.25));
+        assert_eq!(plan.cache_eviction_storm, FaultSpec::always());
+        assert!(plan.has_service_faults());
+        assert!(!plan.is_none());
+        let canonical = plan.to_spec_string();
+        assert_eq!(FaultPlan::parse(&canonical).unwrap(), plan);
+        // A pipeline-only plan has no service faults and vice versa.
+        assert!(!FaultPlan::parse("transient=0.5").unwrap().has_service_faults());
+        for kind in FaultKind::SERVICE {
+            assert!(FaultKind::ALL.contains(&kind));
+        }
     }
 }

@@ -34,7 +34,7 @@ mod translate;
 
 pub use translate::{translate_profile, TranslationStats};
 
-use propeller::{BuildCaches, Propeller, PropellerOptions};
+use propeller::{BuildCaches, DegradationLedger, FaultPlan, Propeller, PropellerOptions};
 use propeller_doctor::{diff_docs, layout_skew_agg, ProvenanceDoc, RelinkDecision, RelinkPolicy};
 use propeller_linker::LinkedBinary;
 use propeller_profile::{
@@ -81,6 +81,12 @@ pub struct FleetOptions {
     /// from the previous release. Off by default; arming never changes
     /// any shipped layout or the default report bytes.
     pub provenance: bool,
+    /// Fault plan injected into every *production* release build (the
+    /// oracle arm always runs clean — it defines what a fault-free
+    /// fleet would ship, so injecting there would move the yardstick).
+    /// Each release's ledger row then carries the degradation its
+    /// build survived. An empty plan changes nothing, bit-for-bit.
+    pub faults: FaultPlan,
 }
 
 impl Default for FleetOptions {
@@ -97,6 +103,7 @@ impl Default for FleetOptions {
             jobs: 1,
             decay: MergeOptions::default(),
             provenance: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -139,6 +146,10 @@ pub struct ReleaseRecord {
     /// serialize without the member, keeping unarmed ledgers
     /// byte-identical to pre-provenance reports.
     pub divergences: Vec<String>,
+    /// What this release's production build gave up surviving injected
+    /// faults. Clean ledgers serialize without the member, so
+    /// zero-fault fleet reports stay byte-identical to pre-fault ones.
+    pub degradation: DegradationLedger,
 }
 
 impl ReleaseRecord {
@@ -186,6 +197,18 @@ impl ReleaseRecord {
                     self.divergences
                         .iter()
                         .map(|d| JsonValue::Str(d.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.degradation.is_clean() {
+            members.push((
+                "degradation".into(),
+                JsonValue::Obj(
+                    self.degradation
+                        .entries()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), JsonValue::Num(v)))
                         .collect(),
                 ),
             ));
@@ -364,11 +387,17 @@ pub fn run_fleet(
 ) -> Result<FleetReport, String> {
     let prod_caches = BuildCaches::new();
     let oracle_caches = BuildCaches::new();
-    let popts = PropellerOptions {
+    // The oracle arm always runs this clean configuration; production
+    // additionally carries the injected fault plan.
+    let oracle_popts = PropellerOptions {
         seed: opts.seed,
         jobs: opts.jobs,
         provenance: opts.provenance,
         ..PropellerOptions::default()
+    };
+    let popts = PropellerOptions {
+        faults: opts.faults.clone(),
+        ..oracle_popts.clone()
     };
     // Machine collection seeds are fixed for the whole run — a machine
     // keeps its workload identity across releases, so the zero-drift
@@ -571,7 +600,7 @@ pub fn run_fleet(
         let mut oracle = Propeller::with_caches(
             bench.program.clone(),
             bench.entries.clone(),
-            popts.clone(),
+            oracle_popts.clone(),
             oracle_caches.clone(),
         );
         oracle.phase1_compile().map_err(|e| e.to_string())?;
@@ -600,6 +629,7 @@ pub fn run_fleet(
             translated_records,
             dropped_records,
             divergences,
+            degradation: prod.degradation().clone(),
         });
 
         history.push(HistoryEntry {
@@ -663,6 +693,7 @@ mod tests {
                 translated_records: 0,
                 dropped_records: 0,
                 divergences: Vec::new(),
+                degradation: DegradationLedger::default(),
             }],
         };
         let json = report.to_json_string();
@@ -690,6 +721,7 @@ mod tests {
             translated_records: 9,
             dropped_records: 0,
             divergences: Vec::new(),
+            degradation: DegradationLedger::default(),
         };
         let mut report = FleetReport {
             benchmark: "x".into(),

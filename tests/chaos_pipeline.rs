@@ -196,6 +196,7 @@ fn arb_plan() -> impl Strategy<Value = FaultPlan> {
             lbr_record_corruption: spec(knobs[4]),
             sample_truncation: spec(knobs[5]),
             permanent_codegen_failure: spec(knobs[6]),
+            ..FaultPlan::default()
         }
     })
 }
