@@ -137,7 +137,10 @@
 //!     achieved speedup vs an oracle fresh-profile relink, the gap
 //!     between them, and the release's cache hit rate (the
 //!     speedup-vs-staleness curve). With --out, write
-//!     fleet_report.json and fleet_curve.csv. With --provenance, arm
+//!     fleet_report.json, fleet_curve.csv and fleet_timeline.csv (the
+//!     ledger as a release-indexed time series: skew, gap, hit rate,
+//!     speedup gauges plus a cumulative translation-drop counter).
+//!     With --provenance, arm
 //!     layout-decision provenance on every relink and cite each
 //!     release's top placement divergences (first diverging merge
 //!     decision, biggest symbol moves) in its ledger row and
@@ -171,6 +174,39 @@
 //!     service_ledger.json (and per-scenario soak_<name>.json under
 //!     --soak); --trace-out writes a Chrome trace with one lane per
 //!     tenant.
+//!
+//! propeller_cli timeline [<benchmark>] [--scale S] [--seed N]
+//!                        [--requests N] [--tenants N] [--slots N]
+//!                        [--queue N] [--mean-gap SECS] [--faults SPEC]
+//!                        [--jobs N] [--interval SECS] [--out DIR]
+//!                        [--trace-out FILE]
+//!     Run the same seeded traffic plan as `traffic` with the
+//!     modeled-clock time-series recorder armed: per-tenant queue
+//!     depth, slots in use, admission/rejection/retry counters, cache
+//!     hit rate, RSS headroom, and submit-to-publish latency events
+//!     (with log2 histograms), all keyed by sim-microseconds. Prints
+//!     the per-tenant latency percentile table. --out writes
+//!     timeline.csv (the canonical fixed-order export — byte-identical
+//!     across --jobs counts and replays, the CI slo-gate `cmp`s it)
+//!     and timeline_sampled.csv (fixed-interval resample, last value
+//!     carried forward, --interval sets the grid). --trace-out writes
+//!     the Chrome trace with every series appended as counter tracks.
+//!
+//! propeller_cli slo [<benchmark>] [--scale S] [--seed N]
+//!                   [--requests N] [--tenants N] [--slots N]
+//!                   [--queue N] [--mean-gap SECS] [--faults SPEC]
+//!                   [--jobs N] [--config FILE] [--out DIR]
+//!     Run the traffic plan with the timeline armed and evaluate
+//!     declarative service-level objectives against it: latency
+//!     percentiles from the recorded histograms, queue-depth maxima
+//!     from the series, rejection/timeout/cache rates from the ledger,
+//!     and error-budget burn rates over sliding modeled-time windows.
+//!     --config FILE points at a TOML file of [[objective]] sections
+//!     (keys: name, metric, tenant, max_warn, max_fail, min_warn,
+//!     min_fail, window_secs, target); without it the built-in service
+//!     objectives apply. Prints the findings and verdict; --out writes
+//!     slo_report.json and timeline.csv. Exits nonzero when any
+//!     objective FAILs — the CI slo gate.
 //!
 //! propeller_cli serve [<benchmark>] [--scale S] [--seed N]
 //!                     [--slots N] [--queue N] [--faults SPEC]
@@ -207,9 +243,10 @@ use propeller::{
 use propeller_bench::{run_benchmark, RunConfig};
 use propeller_doctor::{
     audit_pipeline, degradation_findings, diagnose, diff_docs, diff_reports,
-    diff_service_ledgers, provenance_findings, render_annotate, render_explain,
+    diff_service_ledgers, evaluate_slo, provenance_findings, render_annotate, render_explain,
     render_layout_diff, render_perf_report, service_findings, trend_reports,
     AttributionSection, DoctorConfig, ProvenanceDoc, RelinkPolicy, RunReport, Severity,
+    SloConfig,
 };
 use propeller_faults::ServiceLedger;
 use propeller_fleet::{run_fleet, FleetOptions};
@@ -218,7 +255,11 @@ use propeller_serve::{
 };
 use propeller_sim::{heatmap_csv, heatmap_pgm, AttributedCounters, Event, SimOptions};
 use propeller_synth::{all_specs, generate, spec_by_name, GenParams};
-use propeller_telemetry::{chrome::to_chrome_trace, report::render_text, JsonValue, Telemetry};
+use propeller_telemetry::{
+    chrome::{to_chrome_trace, to_chrome_trace_with_series},
+    report::render_text,
+    JsonValue, Telemetry, TimeSeries,
+};
 use propeller_wpa::cluster_map_to_text;
 use std::process::ExitCode;
 
@@ -284,7 +325,8 @@ fn require<T>(opt: Option<T>, what: &'static str, needs: &'static str) -> Result
 fn usage() -> ExitCode {
     eprintln!(
         "usage: propeller_cli <list | run <bench> | doctor <bench> | chaos [bench] | \
-         fleet [bench] | traffic [bench] | serve [bench] | \
+         fleet [bench] | traffic [bench] | timeline [bench] | slo [bench] | \
+         serve [bench] | \
          service-diff <A.json> <B.json> | compare <bench> | perf-report <bench> | \
          annotate <bench> <function> | explain <bench> <function>[:<block>] | \
          diff <A.json> <B.json> [C.json ...] | layout-diff <A.json> <B.json> | \
@@ -294,9 +336,64 @@ fn usage() -> ExitCode {
          [--releases N] [--machines M] [--drift D] [--skew-threshold T] \
          [--history-window W] [--flamegraph-out FILE] [--heatmap-out FILE] \
          [--provenance] [--requests N] [--tenants N] [--slots N] [--queue N] \
-         [--cache-capacity N] [--mean-gap SECS] [--soak] [--verify-batch]"
+         [--cache-capacity N] [--mean-gap SECS] [--soak] [--verify-batch] \
+         [--interval SECS] [--config FILE]"
     );
     ExitCode::FAILURE
+}
+
+/// Run one traffic plan with the modeled-clock timeline armed. Shared
+/// by the `timeline` and `slo` subcommands: the service executes the
+/// same real work as `traffic`, but every scheduling decision also
+/// lands in the [`TimeSeries`]. With `trace`, the Chrome trace is
+/// rendered with the series appended as counter events.
+fn run_traffic_timeline(
+    benchmark: &str,
+    scale: f64,
+    cfg: &TrafficConfig,
+    sopts: ServeOptions,
+    trace: bool,
+) -> Result<(propeller_serve::ServiceReport, TimeSeries, Option<String>), CliError> {
+    let mut svc = RelinkService::new(benchmark, scale, sopts)
+        .map_err(|source| CliError::Serve { source })?;
+    svc.arm_timeline();
+    if trace {
+        svc.set_telemetry(Telemetry::enabled());
+    }
+    let traffic = gen_traffic(cfg);
+    let report = svc.run(&traffic).map_err(|source| CliError::Serve { source })?;
+    let timeline = svc.timeline().cloned().unwrap_or_else(TimeSeries::new);
+    let chrome = trace.then(|| to_chrome_trace_with_series(&svc.telemetry().drain(), &timeline));
+    Ok((report, timeline, chrome))
+}
+
+/// The per-tenant latency percentile table both timeline-backed
+/// subcommands print.
+fn render_latency_table(report: &propeller_serve::ServiceReport, ts: &TimeSeries) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>9} {:>10} {:>10} {:>10}",
+        "tenant", "completed", "p50_ms", "p95_ms", "p99_ms"
+    );
+    for (name, row) in &report.ledger.tenants {
+        let q = |q: f64| {
+            ts.histogram(&format!("latency_ms.{name}"))
+                .and_then(|h| h.quantile(q))
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.1}"))
+        };
+        let _ = writeln!(
+            out,
+            "{:<8} {:>9} {:>10} {:>10} {:>10}",
+            name,
+            row.completed,
+            q(0.50),
+            q(0.95),
+            q(0.99)
+        );
+    }
+    out
 }
 
 fn generate_for(args: &Args) -> Option<propeller_synth::GeneratedBenchmark> {
@@ -1060,13 +1157,15 @@ fn main() -> ExitCode {
                 }
                 let json_path = format!("{dir}/fleet_report.json");
                 let csv_path = format!("{dir}/fleet_curve.csv");
+                let tl_path = format!("{dir}/fleet_timeline.csv");
                 if let Err(e) = std::fs::write(&json_path, report.to_json_string())
                     .and_then(|()| std::fs::write(&csv_path, report.curve_csv()))
+                    .and_then(|()| std::fs::write(&tl_path, report.timeseries().to_csv()))
                 {
                     eprintln!("cannot write fleet artifacts under {dir}: {e}");
                     return ExitCode::FAILURE;
                 }
-                println!("wrote {json_path} and {csv_path}");
+                println!("wrote {json_path}, {csv_path} and {tl_path}");
             }
             if report.drift == 0.0 && !report.steady_after_warmup(report.history_window) {
                 eprintln!(
@@ -1308,6 +1407,176 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 eprintln!("traffic gate: accounting or batch-equivalence failure");
+                ExitCode::FAILURE
+            }
+        }
+        Some(cmd @ ("timeline" | "slo")) => {
+            let mut benchmark = "clang".to_string();
+            let mut scale: Option<f64> = None;
+            let mut seed: Option<u64> = None;
+            let mut cfg = TrafficConfig::default();
+            let mut sopts = ServeOptions { profile_budget: 30_000, ..ServeOptions::default() };
+            let mut jobs = 1usize;
+            let mut interval_secs = 10.0f64;
+            let mut config_path: Option<String> = None;
+            let mut out: Option<String> = None;
+            let mut trace_out: Option<String> = None;
+            let mut first = true;
+            while let Some(tok) = argv.next() {
+                macro_rules! val {
+                    () => {
+                        match argv.next().and_then(|s| s.parse().ok()) {
+                            Some(v) => v,
+                            None => return usage(),
+                        }
+                    };
+                }
+                match tok.as_str() {
+                    "--scale" => scale = Some(val!()),
+                    "--seed" => seed = Some(val!()),
+                    "--requests" => cfg.requests = val!(),
+                    "--tenants" => cfg.tenants = val!(),
+                    "--mean-gap" => cfg.mean_gap_secs = val!(),
+                    "--slots" => sopts.slots = val!(),
+                    "--queue" => sopts.queue_capacity = val!(),
+                    "--cache-capacity" => sopts.cache_capacity = Some(val!()),
+                    "--jobs" => jobs = val!(),
+                    "--interval" if cmd == "timeline" => interval_secs = val!(),
+                    "--config" if cmd == "slo" => {
+                        let Some(path) = argv.next() else {
+                            return usage();
+                        };
+                        config_path = Some(path);
+                    }
+                    "--faults" => {
+                        let Some(spec) = argv.next() else {
+                            return usage();
+                        };
+                        match FaultPlan::parse(&spec) {
+                            Ok(plan) => sopts.faults = plan,
+                            Err(e) => {
+                                eprintln!("invalid --faults spec: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    "--out" => {
+                        let Some(dir) = argv.next() else {
+                            return usage();
+                        };
+                        out = Some(dir);
+                    }
+                    "--trace-out" => {
+                        let Some(path) = argv.next() else {
+                            return usage();
+                        };
+                        trace_out = Some(path);
+                    }
+                    t if first && !t.starts_with("--") => benchmark = t.to_string(),
+                    _ => return usage(),
+                }
+                first = false;
+            }
+            let scale = scale.unwrap_or(cfg.scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+                sopts.seed = s;
+            }
+            cfg.benchmark = benchmark.clone();
+            cfg.scale = scale;
+            sopts.jobs = jobs;
+            if let Some(dir) = &out {
+                if let Err(source) = std::fs::create_dir_all(dir) {
+                    return fail(CliError::Io { path: dir.clone(), source });
+                }
+            }
+            let slo_cfg = if cmd == "slo" {
+                match &config_path {
+                    Some(path) => {
+                        let text = match std::fs::read_to_string(path) {
+                            Ok(t) => t,
+                            Err(source) => {
+                                return fail(CliError::Io { path: path.clone(), source })
+                            }
+                        };
+                        match SloConfig::parse(&text) {
+                            Ok(c) => Some(c),
+                            Err(e) => {
+                                return fail(CliError::Parse {
+                                    path: path.clone(),
+                                    detail: e.to_string(),
+                                })
+                            }
+                        }
+                    }
+                    None => Some(SloConfig::default_service()),
+                }
+            } else {
+                None
+            };
+            let (report, timeline, chrome) = match run_traffic_timeline(
+                &benchmark,
+                scale,
+                &cfg,
+                sopts,
+                trace_out.is_some(),
+            ) {
+                Ok(r) => r,
+                Err(e) => return fail(e),
+            };
+            let totals = report.ledger.totals();
+            println!(
+                "{cmd}: {} arrivals over {:.1} modeled s -> {} completed; {} series recorded",
+                totals.arrivals(),
+                report.ledger.makespan_secs,
+                totals.completed,
+                timeline.names().len(),
+            );
+            print!("{}", render_latency_table(&report, &timeline));
+            if let Some(path) = &trace_out {
+                if let Some(json) = chrome {
+                    if let Err(source) = std::fs::write(path, json) {
+                        return fail(CliError::Io { path: path.clone(), source });
+                    }
+                    println!(
+                        "wrote {path} (tenant lanes + counter tracks; open at ui.perfetto.dev)"
+                    );
+                }
+            }
+            if let Some(dir) = &out {
+                let path = std::path::Path::new(dir).join("timeline.csv");
+                if let Err(e) = write_file(&path, timeline.to_csv()) {
+                    return fail(e);
+                }
+                if cmd == "timeline" {
+                    let interval_us = (interval_secs.max(1e-6) * 1e6) as u64;
+                    let path = std::path::Path::new(dir).join("timeline_sampled.csv");
+                    if let Err(e) = write_file(&path, timeline.sampled_csv(interval_us)) {
+                        return fail(e);
+                    }
+                }
+            }
+            for v in &report.violations {
+                eprintln!("accounting violation: {v}");
+            }
+            if let Some(slo_cfg) = slo_cfg {
+                let slo = evaluate_slo(&timeline, &report.ledger, &slo_cfg);
+                print!("{}", slo.render());
+                if let Some(dir) = &out {
+                    let path = std::path::Path::new(dir).join("slo_report.json");
+                    if let Err(e) = write_file(&path, slo.to_json_string()) {
+                        return fail(e);
+                    }
+                }
+                if slo.verdict() == Severity::Fail {
+                    eprintln!("slo gate: objectives violated");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if report.violations.is_empty() && report.ledger.accounts_exactly() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("{cmd}: service accounting failure");
                 ExitCode::FAILURE
             }
         }

@@ -34,6 +34,7 @@ pub mod policy;
 pub mod provenance;
 pub mod report;
 pub mod service;
+pub mod slo;
 
 pub use audit::{
     audit_pipeline, audit_profile, audit_profile_with_reference, layout_skew, layout_skew_agg,
@@ -55,3 +56,6 @@ pub use provenance::{
 };
 pub use report::RunReport;
 pub use service::{diff_service_ledgers, service_findings};
+pub use slo::{
+    diff_timeseries, evaluate_slo, SloConfig, SloObjective, SloParseError, SloReport,
+};

@@ -43,7 +43,7 @@ use propeller_profile::{
 };
 use propeller_sim::{collect_profile, ProgramImage, Workload};
 use propeller_synth::{evolve, generate, BenchmarkSpec, DriftParams, GenParams};
-use propeller_telemetry::JsonValue;
+use propeller_telemetry::{JsonValue, TimeSeries};
 use propeller_wpa::AddressMapper;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -312,6 +312,27 @@ impl FleetReport {
             return true;
         };
         rows.all(|r| r == first)
+    }
+
+    /// The release ledger as a release-indexed [`TimeSeries`]: one
+    /// modeled tick per release at `t = release * 1_000_000` (a
+    /// "release microsecond" axis, so the same tooling that reads
+    /// sim-microsecond serve timelines reads fleet timelines). Gauges
+    /// for skew, gap, cache hit rate and achieved speedup; a
+    /// cumulative counter for translation drops. Derived purely from
+    /// the ledger, so it is exactly as deterministic as the report
+    /// itself.
+    pub fn timeseries(&self) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for r in &self.records {
+            let t = u64::from(r.release) * 1_000_000;
+            ts.gauge("fleet.skew", t, r.skew);
+            ts.gauge("fleet.gap_pct", t, r.gap_pct);
+            ts.gauge("fleet.cache_hit_rate", t, r.cache_hit_rate);
+            ts.gauge("fleet.achieved_speedup_pct", t, r.achieved_speedup_pct);
+            ts.counter_add("fleet.dropped_records", t, r.dropped_records as f64);
+        }
+        ts
     }
 
     /// Mean `gap_pct` over the post-bootstrap releases (0.0 when there
@@ -739,5 +760,47 @@ mod tests {
         assert!(!report.steady_after_warmup(2));
         // An all-warmup report is vacuously steady.
         assert!(report.steady_after_warmup(10));
+    }
+
+    #[test]
+    fn timeseries_indexes_by_release_and_accumulates_drops() {
+        let row = |release: u32, skew: f64, dropped: u64| ReleaseRecord {
+            release,
+            functions: 10,
+            skew,
+            decision: "relink".into(),
+            achieved_speedup_pct: 2.0,
+            oracle_speedup_pct: 3.0,
+            gap_pct: 1.0,
+            hot_functions: 2,
+            cache_lookups: 5,
+            cache_hits: 5,
+            cache_hit_rate: 1.0,
+            translated_records: 9,
+            dropped_records: dropped,
+            divergences: Vec::new(),
+            degradation: DegradationLedger::default(),
+        };
+        let report = FleetReport {
+            benchmark: "x".into(),
+            scale: 1.0,
+            seed: 1,
+            drift: 0.1,
+            machines: 1,
+            skew_threshold: 0.4,
+            history_window: 2,
+            records: vec![row(0, 0.0, 0), row(1, 0.5, 3), row(2, 0.2, 4)],
+        };
+        let ts = report.timeseries();
+        let skew = ts.get("fleet.skew").expect("skew series").ordered();
+        assert_eq!(skew.len(), 3);
+        assert_eq!(skew[2].t_us, 2_000_000);
+        assert_eq!(skew[2].value, 0.2);
+        // Drops are a cumulative counter: 0, 3, 7.
+        let drops = ts.get("fleet.dropped_records").expect("drops series").ordered();
+        assert_eq!(drops.iter().map(|p| p.value as u64).collect::<Vec<_>>(), [0, 3, 7]);
+        // Round-trips through the canonical CSV.
+        let back = TimeSeries::from_csv(&ts.to_csv()).expect("csv parses");
+        assert_eq!(back.to_csv(), ts.to_csv());
     }
 }

@@ -35,7 +35,7 @@ use propeller_faults::{
 };
 use propeller_obj::ContentHash;
 use propeller_synth::{generate, spec_by_name, BenchmarkSpec, GenParams};
-use propeller_telemetry::Telemetry;
+use propeller_telemetry::{Telemetry, TimeSeries, TENANT_LANE_BASE};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 
@@ -247,6 +247,10 @@ pub struct RelinkService {
     next_clone_id: u64,
     makespan_us: u64,
     ceiling_bytes: Option<u64>,
+    /// Modeled-clock time series, armed by
+    /// [`arm_timeline`](RelinkService::arm_timeline). `None` (the
+    /// default) records nothing and changes no output byte.
+    timeline: Option<TimeSeries>,
 }
 
 impl RelinkService {
@@ -279,10 +283,57 @@ impl RelinkService {
             next_clone_id: 1 << 32,
             makespan_us: 0,
             ceiling_bytes,
+            timeline: None,
             spec,
             scale,
             opts,
         })
+    }
+
+    /// Arm the modeled-clock time-series recorder. Every subsequent
+    /// scheduling decision records points keyed by sim-microseconds:
+    /// per-tenant queue depth, slots in use, admission/rejection
+    /// counters, cache hit rate, RSS headroom, and per-tenant
+    /// submit-to-publish latency (event series + log2 histogram).
+    /// Recording is a pure observer — ledgers, binaries and spans are
+    /// byte-identical armed or not — and the recorded series are
+    /// byte-identical across `--jobs` counts and replays, because
+    /// every recorded value is modeled, never measured.
+    pub fn arm_timeline(&mut self) {
+        self.timeline = Some(TimeSeries::new());
+    }
+
+    /// The armed timeline (`None` unless
+    /// [`arm_timeline`](RelinkService::arm_timeline) was called).
+    pub fn timeline(&self) -> Option<&TimeSeries> {
+        self.timeline.as_ref()
+    }
+
+    /// Bumps the per-tenant cumulative counter `metric.t{tenant}` on
+    /// the armed timeline.
+    fn tl_count(&mut self, metric: &str, tenant: u32, t_us: u64) {
+        if let Some(ts) = self.timeline.as_mut() {
+            ts.counter_add(&format!("{metric}.t{tenant}"), t_us, 1.0);
+        }
+    }
+
+    /// Records the per-tenant and total queue-depth gauges after a
+    /// queue mutation.
+    fn tl_queue_depth(&mut self, tenant: u32, t_us: u64) {
+        let depth = self.queues.get(tenant as usize).map_or(0, VecDeque::len) as f64;
+        let total = self.queued_total as f64;
+        if let Some(ts) = self.timeline.as_mut() {
+            ts.gauge(&format!("queue_depth.t{tenant}"), t_us, depth);
+            ts.gauge("queue_depth.total", t_us, total);
+        }
+    }
+
+    /// Records the slots-in-use gauge at `t_us`.
+    fn tl_slots(&mut self, t_us: u64) {
+        let in_use = (self.opts.slots.max(1) - self.free_slots) as f64;
+        if let Some(ts) = self.timeline.as_mut() {
+            ts.gauge("slots_in_use", t_us, in_use);
+        }
     }
 
     /// Attach a telemetry handle; each job then records one span in a
@@ -322,6 +373,7 @@ impl RelinkService {
     pub fn submit(&mut self, req: JobRequest) {
         let t = req.arrival_us.max(self.now_us);
         self.tenant_mut(req.tenant).submitted += 1;
+        self.tl_count("submitted", req.tenant, t);
         self.push_event(t, Ev::Arrive { submit_us: t, req, attempt: 0, is_clone: false });
     }
 
@@ -346,6 +398,8 @@ impl RelinkService {
                 }
                 Ev::Finish => {
                     self.free_slots += 1;
+                    let now = self.now_us;
+                    self.tl_slots(now);
                     self.fill_slots()?;
                 }
             }
@@ -382,6 +436,7 @@ impl RelinkService {
                         ..req.clone()
                     };
                     self.tenant_mut(req.tenant).burst_clones += 1;
+                    self.tl_count("burst_clones", req.tenant, t);
                     self.push_event(t, Ev::Arrive {
                         submit_us: t,
                         req: clone,
@@ -398,6 +453,7 @@ impl RelinkService {
         if let Some(ceiling) = self.ceiling_bytes {
             if req.declared_peak_bytes > ceiling {
                 self.tenant_mut(req.tenant).rejected_memory += 1;
+                self.tl_count("rejected_memory", req.tenant, now);
                 return Ok(());
             }
         }
@@ -422,9 +478,11 @@ impl RelinkService {
                     enqueued_us: self.now_us,
                 });
                 self.queued_total += 1;
+                self.tl_queue_depth(tenant, now);
                 return Ok(());
             }
             self.tenant_mut(req.tenant).queue_drops += 1;
+            self.tl_count("queue_drops", req.tenant, now);
         }
         // Queue full (or the enqueue was dropped): client-side retry
         // with seeded-jitter exponential backoff, all modeled.
@@ -440,10 +498,12 @@ impl RelinkService {
             let row = self.tenant_mut(req.tenant);
             row.retries += 1;
             row.retry_backoff_secs += backoff;
+            self.tl_count("retries", req.tenant, now);
             let t = self.now_us + (backoff * 1e6) as u64;
             self.push_event(t, Ev::Arrive { submit_us, req, attempt: attempt + 1, is_clone });
         } else {
             self.tenant_mut(req.tenant).rejected_queue += 1;
+            self.tl_count("rejected_queue", req.tenant, now);
         }
         Ok(())
     }
@@ -466,6 +526,8 @@ impl RelinkService {
                 }
             }
             let Some(q) = picked else { break };
+            let now = self.now_us;
+            self.tl_queue_depth(q.req.tenant, now);
             let wait = (self.now_us - q.enqueued_us) as f64 / 1e6;
             self.tenants[q.req.tenant as usize].queue_wait_secs += wait;
             // Deadline: measured from the original submit, so backoff
@@ -473,6 +535,7 @@ impl RelinkService {
             let age = (self.now_us.saturating_sub(q.submit_us)) as f64 / 1e6;
             if age > self.opts.deadline_secs {
                 self.tenants[q.req.tenant as usize].deadline_timeouts += 1;
+                self.tl_count("deadline_timeouts", q.req.tenant, now);
                 continue;
             }
             // Cancelled while queued: the owner gave up before a slot
@@ -480,6 +543,7 @@ impl RelinkService {
             if let Some(c) = q.req.cancel_after_secs {
                 if q.submit_us + (c * 1e6) as u64 <= self.now_us {
                     self.tenants[q.req.tenant as usize].cancelled_by_client += 1;
+                    self.tl_count("cancelled", q.req.tenant, now);
                     continue;
                 }
             }
@@ -495,6 +559,8 @@ impl RelinkService {
         let now = self.now_us;
         let tenant = req.tenant;
         self.tenant_mut(tenant).admitted += 1;
+        self.tl_count("admitted", tenant, now);
+        self.tl_slots(now);
         let est = self
             .durations
             .get(&(tenant, req.program_seed))
@@ -518,6 +584,7 @@ impl RelinkService {
             let row = self.tenant_mut(tenant);
             row.cancelled_by_fault += 1;
             row.busy_secs += held;
+            self.tl_count("cancelled", tenant, now);
             self.push_event(now + (held * 1e6) as u64, Ev::Finish);
             return Ok(());
         }
@@ -530,6 +597,7 @@ impl RelinkService {
                 let row = self.tenant_mut(tenant);
                 row.cancelled_by_client += 1;
                 row.busy_secs += held;
+                self.tl_count("cancelled", tenant, now);
                 self.push_event(cancel_abs.max(now), Ev::Finish);
                 return Ok(());
             }
@@ -643,9 +711,34 @@ impl RelinkService {
                 }),
         );
         self.durations.insert((tenant, req.program_seed), duration);
-        // One span per job in the tenant's Chrome-trace lane.
+        // Publish-time observability: the job's latency is stamped at
+        // the modeled publish instant (submit + queue + run), not at
+        // the start event — `Point.seq` keeps the export order
+        // canonical even though publish lies in the scheduler's
+        // future.
+        let publish_us = now + (duration * 1e6) as u64;
+        let ir = self.caches.tenant_ir_stats(tenant);
+        let obj = self.caches.tenant_object_stats(tenant);
+        let ceiling = self.ceiling_bytes;
+        if let Some(ts) = self.timeline.as_mut() {
+            let latency_ms = (publish_us.saturating_sub(submit_us)) as f64 / 1e3;
+            ts.event(&format!("latency_ms.t{tenant}"), publish_us, latency_ms);
+            ts.counter_add(&format!("completed.t{tenant}"), publish_us, 1.0);
+            let lookups = ir.lookups + obj.lookups;
+            if lookups > 0 {
+                let rate = (ir.hits + obj.hits) as f64 / lookups as f64;
+                ts.gauge(&format!("cache_hit_rate.t{tenant}"), now, rate);
+            }
+            if let Some(ceiling) = ceiling {
+                let headroom = ceiling.saturating_sub(peak) as f64 / (1u64 << 30) as f64;
+                ts.event("rss_headroom_gb", now, headroom);
+            }
+        }
+        // One span per job in the tenant's Chrome-trace lane —
+        // namespaced above the buildsys worker band so tenant t never
+        // shares a tid with pipeline worker t+1.
         if self.tel.is_enabled() {
-            self.tel.with_worker(u64::from(tenant) + 1, || {
+            self.tel.with_worker(TENANT_LANE_BASE + u64::from(tenant), || {
                 self.tel.emit_span(format!("t{tenant}/job{}", req.id), None, duration, peak)
             });
         }

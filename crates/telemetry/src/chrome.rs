@@ -12,12 +12,34 @@
 //! syntactically valid.
 
 use crate::json::{escape_json, json_f64};
+use crate::timeseries::TimeSeries;
 use crate::{SpanRecord, TraceData};
 
 /// Lane offset for worker-pool spans: worker `w` renders on tid
 /// `WORKER_LANE_BASE + w`, separating pool lanes from plain thread
 /// lanes even when the OS reuses threads across phases.
 const WORKER_LANE_BASE: u64 = 1000;
+
+/// Worker-id offset reserving a tid band for service *tenant* lanes.
+/// The relink service stamps tenant `t`'s spans with worker id
+/// `TENANT_LANE_BASE + t`, so tenant lanes land on tids starting at
+/// `WORKER_LANE_BASE + TENANT_LANE_BASE` — disjoint from buildsys
+/// worker lanes (`WORKER_LANE_BASE + w`) for any pool below a million
+/// workers, where the two bands used to collide (tenant `t` rendered
+/// on the same tid as worker `t + 1`). Lane metadata names ids in this
+/// band "tenant N" instead of "worker N".
+pub const TENANT_LANE_BASE: u64 = 1_000_000;
+
+/// Human name for a worker-id lane: tenant ids (at or past
+/// [`TENANT_LANE_BASE`]) are named after their tenant, pool workers
+/// after their slot.
+fn lane_name(w: u64) -> String {
+    if w >= TENANT_LANE_BASE {
+        format!("tenant {}", w - TENANT_LANE_BASE)
+    } else {
+        format!("worker {w}")
+    }
+}
 
 fn span_event(s: &SpanRecord) -> String {
     format!(
@@ -42,6 +64,47 @@ fn span_event(s: &SpanRecord) -> String {
 /// Renders a drained trace as a Chrome Trace Event Format JSON
 /// document.
 pub fn to_chrome_trace(trace: &TraceData) -> String {
+    render_trace(trace_events(trace))
+}
+
+/// Renders a drained trace plus a modeled-clock [`TimeSeries`]: every
+/// series point becomes a counter (`"ph": "C"`) event at its
+/// sim-microsecond timestamp, so queue depths, slot occupancy and
+/// rejection totals plot as tracks alongside the span lanes. Point
+/// order is the series' canonical order, so the document is
+/// byte-stable for byte-stable inputs.
+pub fn to_chrome_trace_with_series(trace: &TraceData, series: &TimeSeries) -> String {
+    let mut events = trace_events(trace);
+    events.extend(series_counter_events(series));
+    render_trace(events)
+}
+
+/// The counter events for one [`TimeSeries`], one per point, in
+/// canonical series/point order.
+pub fn series_counter_events(series: &TimeSeries) -> Vec<String> {
+    let mut events = Vec::new();
+    for (name, s) in series.iter() {
+        for p in s.ordered() {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+                 \"args\":{{\"value\":{}}}}}",
+                escape_json(name),
+                p.t_us,
+                json_f64(p.value),
+            ));
+        }
+    }
+    events
+}
+
+fn render_trace(events: Vec<String>) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+fn trace_events(trace: &TraceData) -> Vec<String> {
     let mut events: Vec<String> = Vec::with_capacity(trace.spans.len() + 8);
     events.push(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
@@ -54,8 +117,9 @@ pub fn to_chrome_trace(trace: &TraceData) -> String {
     for w in workers {
         events.push(format!(
             "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
-             \"args\":{{\"name\":\"worker {w}\"}}}}",
+             \"args\":{{\"name\":\"{}\"}}}}",
             WORKER_LANE_BASE + w,
+            escape_json(&lane_name(w)),
         ));
     }
     for s in &trace.spans {
@@ -75,10 +139,7 @@ pub fn to_chrome_trace(trace: &TraceData) -> String {
             json_f64(*v),
         ));
     }
-    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-    out.push_str(&events.join(",\n"));
-    out.push_str("\n]}\n");
-    out
+    events
 }
 
 #[cfg(test)]
@@ -222,6 +283,56 @@ mod tests {
     fn empty_trace_is_valid() {
         let json = to_chrome_trace(&Telemetry::enabled().drain());
         check_json(&json).expect("valid JSON");
+    }
+
+    /// Regression test for the tenant/worker lane collision: serve
+    /// used to stamp tenant `t` as worker `t + 1`, so tenant 1 and
+    /// pool worker 2 rendered on the same tid. Tenant lanes now live
+    /// in their own tid band and carry "tenant N" metadata.
+    #[test]
+    fn tenant_lanes_do_not_collide_with_worker_lanes() {
+        let tel = Telemetry::enabled();
+        tel.with_worker(2, || {
+            let _s = tel.span("pool work");
+        });
+        tel.with_worker(TENANT_LANE_BASE + 1, || {
+            let _s = tel.span("tenant job");
+        });
+        let json = to_chrome_trace(&tel.drain());
+        check_json(&json).expect("valid JSON");
+        assert!(json.contains("\"name\":\"worker 2\""));
+        assert!(json.contains("\"name\":\"tenant 1\""));
+        // Worker 2 keeps its historical tid; tenant 1 must NOT share
+        // it (the pre-fix behaviour), landing in the tenant band.
+        assert!(json.contains("\"tid\":1002"));
+        assert!(json.contains(&format!("\"tid\":{}", WORKER_LANE_BASE + TENANT_LANE_BASE + 1)));
+        let tenant_on_worker_lane = json
+            .match_indices("\"tid\":1002")
+            .count();
+        assert_eq!(tenant_on_worker_lane, 2, "worker 2's lane: metadata + its one span");
+    }
+
+    #[test]
+    fn series_points_export_as_counter_events() {
+        use crate::timeseries::TimeSeries;
+        let tel = Telemetry::enabled();
+        {
+            let _s = tel.span("run");
+        }
+        let mut ts = TimeSeries::new();
+        ts.gauge("queue_depth.t0", 1_500_000, 3.0);
+        ts.counter_add("rejected.t0", 2_000_000, 1.0);
+        let json = to_chrome_trace_with_series(&tel.drain(), &ts);
+        check_json(&json).expect("valid JSON");
+        assert!(json.contains("\"name\":\"queue_depth.t0\",\"ph\":\"C\",\"ts\":1500000"));
+        assert!(json.contains("\"name\":\"rejected.t0\",\"ph\":\"C\",\"ts\":2000000"));
+        // Byte-stable for identical inputs.
+        let again = to_chrome_trace_with_series(&Telemetry::enabled().drain(), &ts);
+        let counters: Vec<&str> =
+            json.lines().filter(|l| l.contains("\"ph\":\"C\"")).collect();
+        let counters2: Vec<&str> =
+            again.lines().filter(|l| l.contains("\"ph\":\"C\"")).collect();
+        assert_eq!(counters, counters2);
     }
 
     #[test]

@@ -44,10 +44,13 @@ mod span;
 pub mod chrome;
 pub mod json;
 pub mod report;
+pub mod timeseries;
 
+pub use chrome::TENANT_LANE_BASE;
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS};
 pub use span::{Span, SpanId, SpanRecord};
+pub use timeseries::{Point, Series, SeriesKind, TimeSeries};
 
 use parking_lot::Mutex;
 use span::{current_parent, current_worker, pop_current, push_current, set_current_worker};

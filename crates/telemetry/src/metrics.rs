@@ -116,6 +116,44 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Estimates the `q`-quantile (`q` clamped into `[0, 1]`); `None`
+    /// when the histogram is empty.
+    ///
+    /// The estimator walks the cumulative bucket counts to the bucket
+    /// holding the rank-`ceil(q * count)` observation and returns that
+    /// bucket's upper bound, clamped into `[min, max]` using the exact
+    /// sidecars.
+    ///
+    /// ## Error bound
+    ///
+    /// The estimate `e` always lies inside the bucket containing the
+    /// true quantile `x`, at or above it: `x <= e <= upper(x)` where
+    /// `upper(x)` is the power-of-two bound of `x`'s bucket. For
+    /// `x > 2^-8` (the first bucket's bound) buckets span exactly one
+    /// octave, so `e < 2x` — a one-sided relative error strictly below
+    /// 2×; the estimate never *understates* a latency quantile, which
+    /// is the safe direction for SLO gating. True quantiles at or
+    /// below `2^-8` share the catch-all first bucket and are only
+    /// bounded by it. The min/max clamp makes single-valued and
+    /// extreme-rank queries exact.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            acc += n;
+            if acc >= rank {
+                return Some(Self::bucket_bound(i).clamp(self.min, self.max));
+            }
+        }
+        // Unreachable when `is_consistent()` holds; fall back to the
+        // exact maximum rather than panicking on a corrupt histogram.
+        Some(self.max)
+    }
+
     /// The count invariant every merge preserves: bucket counts sum to
     /// `count()`.
     pub fn is_consistent(&self) -> bool {
@@ -314,6 +352,57 @@ mod tests {
             if b > 0 && b < HISTOGRAM_BUCKETS - 1 {
                 assert!(v > Histogram::bucket_bound(b - 1), "{v} in bucket {b}");
             }
+        }
+    }
+
+    #[test]
+    fn quantile_is_bucket_accurate() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0, 10.0, 100.0, 1000.0] {
+            h.observe(v);
+        }
+        // Rank math: q=0.5 over 6 observations targets rank 3 (3.0,
+        // bucket bound 4.0).
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        // Extremes clamp to the exact sidecars.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(1000.0));
+        // The p99 of a 6-sample histogram is its maximum.
+        assert_eq!(h.quantile(0.99), Some(1000.0));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(Histogram::default().quantile(0.5), None);
+        let mut zeros = Histogram::default();
+        zeros.observe(0.0);
+        zeros.observe(0.0);
+        // Bucket 0's bound clamps down to the exact max of 0.
+        assert_eq!(zeros.quantile(0.99), Some(0.0));
+        let mut one = Histogram::default();
+        one.observe(7.0);
+        // A single observation is every quantile, exactly (the bucket
+        // bound 8.0 clamps to max == min == 7.0).
+        assert_eq!(one.quantile(0.0), Some(7.0));
+        assert_eq!(one.quantile(0.5), Some(7.0));
+        assert_eq!(one.quantile(1.0), Some(7.0));
+    }
+
+    #[test]
+    fn quantile_never_understates() {
+        let mut h = Histogram::default();
+        let obs = [0.3, 0.9, 1.5, 6.0, 6.1, 40.0, 41.5, 300.0];
+        for v in obs {
+            h.observe(v);
+        }
+        for (i, q) in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99].iter().enumerate() {
+            let est = h.quantile(*q).unwrap();
+            let mut sorted = obs.to_vec();
+            sorted.sort_by(f64::total_cmp);
+            let rank = ((q * obs.len() as f64).ceil() as usize).clamp(1, obs.len());
+            let truth = sorted[rank - 1];
+            assert!(est >= truth, "case {i}: {est} < true quantile {truth}");
+            assert!(est < 2.0 * truth, "case {i}: {est} >= 2x true {truth}");
         }
     }
 

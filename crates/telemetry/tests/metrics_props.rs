@@ -111,6 +111,48 @@ proptest! {
     }
 
     #[test]
+    fn quantile_lands_in_the_true_quantile_bucket(
+        raw in proptest::collection::vec(0u64..1_000_000, 1..200),
+        qm in 0u64..=1000,
+    ) {
+        // Integer draws mapped into [0, SCALE): the vendored proptest
+        // only implements ranges over integers. The spread still
+        // crosses many octaves, so every bucket class (sub-unit,
+        // mid-range, huge) is exercised.
+        let obs: Vec<f64> = raw.iter().map(|&u| u as f64 / 1e6 * SCALE).collect();
+        let q = qm as f64 / 1000.0;
+        let h = histogram_of(&obs.iter().map(|v| v / SCALE).collect::<Vec<_>>());
+        let est = h.quantile(q).unwrap();
+        // The true quantile under the estimator's rank convention:
+        // the rank-ceil(q*n) order statistic (1-indexed).
+        let mut sorted = obs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        // Bucket bracket of the true quantile: the smallest power-of-
+        // two bound at or above it (everything <= 2^-8 shares the
+        // first bucket).
+        let upper_of = |v: f64| {
+            (0..propeller_telemetry::HISTOGRAM_BUCKETS)
+                .map(Histogram::bucket_bound)
+                .find(|&b| v <= b)
+                .unwrap_or(f64::INFINITY)
+        };
+        let upper = upper_of(truth);
+        // The documented guarantee: the estimate lands inside the
+        // bucket containing the true quantile, at or above it.
+        prop_assert!(
+            est >= truth && est <= upper,
+            "estimate {est} outside [{truth}, {upper}] (true-quantile bucket)"
+        );
+        // Above the catch-all first bucket, buckets are one octave, so
+        // the one-sided relative bound holds: est < 2 * truth.
+        if truth > Histogram::bucket_bound(0) {
+            prop_assert!(est < 2.0 * truth, "estimate {est} >= 2x true quantile {truth}");
+        }
+    }
+
+    #[test]
     fn counter_merge_totals_match_sum(
         adds in proptest::collection::vec(0u64..1_000_000, 1..64),
         at in 0usize..64,

@@ -78,6 +78,102 @@ fn oversize_jobs_are_rejected_at_admission() {
     assert!(report.ledger.accounts_exactly());
 }
 
+/// A single-tenant run is the degenerate Zipf case: every draw lands
+/// on t0, the round-robin scheduler has one queue, and accounting must
+/// still balance exactly.
+#[test]
+fn single_tenant_run_accounts_exactly() {
+    let cfg = TrafficConfig {
+        requests: 5,
+        tenants: 1,
+        scale: SCALE,
+        ..TrafficConfig::default()
+    };
+    let mut svc = RelinkService::new(
+        "clang",
+        SCALE,
+        ServeOptions { profile_budget: BUDGET, ..ServeOptions::default() },
+    )
+    .unwrap();
+    let report = svc.run(&gen_traffic(&cfg)).unwrap();
+    assert_eq!(report.ledger.tenants.len(), 1);
+    assert!(report.ledger.tenants.contains_key("t0"));
+    assert!(report.ledger.accounts_exactly(), "{}", report.ledger.render());
+    assert!(report.violations.is_empty());
+}
+
+/// A burst that fills the queue to exactly its capacity: every clone
+/// fits (capacity reached, never exceeded), nothing retries or is
+/// rejected, and the recorded queue-depth gauge peaks at exactly the
+/// capacity.
+#[test]
+fn burst_at_exact_queue_capacity_fits_without_rejections() {
+    let cfg = TrafficConfig {
+        requests: 6,
+        tenants: 1,
+        scale: SCALE,
+        mean_gap_secs: 1.0,
+        burst_every: 1, // the burst opens right after the first arrival
+        burst_len: 5,   // ...and the next 5 arrive 50 ms apart
+        cancel_every: 0,
+        oversize_every: 0,
+        ..TrafficConfig::default()
+    };
+    let mut svc = RelinkService::new(
+        "clang",
+        SCALE,
+        ServeOptions {
+            slots: 1,
+            queue_capacity: 5, // exactly the burst tail
+            profile_budget: BUDGET,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    svc.arm_timeline();
+    let report = svc.run(&gen_traffic(&cfg)).unwrap();
+    let totals = report.ledger.totals();
+    assert_eq!(totals.completed, 6, "{}", report.ledger.render());
+    assert_eq!(totals.rejected_queue, 0);
+    assert_eq!(totals.retries, 0);
+    assert!(report.ledger.accounts_exactly());
+    let depth = svc
+        .timeline()
+        .and_then(|ts| ts.get("queue_depth.total"))
+        .and_then(|s| s.max_value())
+        .expect("queue depth recorded");
+    assert_eq!(depth, 5.0, "the burst must fill the queue to exactly capacity");
+}
+
+/// `cancel_every` larger than the whole plan never marks a request
+/// (the generator skips index 0), so no cancellation path runs and the
+/// books still balance.
+#[test]
+fn cancel_stride_beyond_plan_cancels_nothing() {
+    let cfg = TrafficConfig {
+        requests: 3,
+        tenants: 2,
+        scale: SCALE,
+        cancel_every: 10, // > requests: no index qualifies
+        burst_every: 0,
+        oversize_every: 0,
+        ..TrafficConfig::default()
+    };
+    let traffic = gen_traffic(&cfg);
+    assert!(traffic.iter().all(|r| r.cancel_after_secs.is_none()));
+    let mut svc = RelinkService::new(
+        "clang",
+        SCALE,
+        ServeOptions { profile_budget: BUDGET, ..ServeOptions::default() },
+    )
+    .unwrap();
+    let report = svc.run(&traffic).unwrap();
+    let totals = report.ledger.totals();
+    assert_eq!(totals.cancelled_by_client, 0);
+    assert_eq!(totals.completed, 3);
+    assert!(report.ledger.accounts_exactly());
+}
+
 /// Strategy: a fault plan mixing service-level and pipeline kinds at
 /// moderate probabilities (quantized so the case shrinks well).
 fn arb_service_plan() -> impl Strategy<Value = FaultPlan> {
